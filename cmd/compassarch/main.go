@@ -1,0 +1,83 @@
+// Command compassarch runs one workload across the simulated target
+// architectures (the paper's §5 study: "a variety of shared memory
+// architectures such as CCNUMA, COMA and software DSM multiprocessors")
+// and prints a comparison table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compass"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "sor", "sor | tpcd | tpcc")
+		nodes    = flag.Int("nodes", 4, "NUMA nodes for ccnuma/coma/dsm")
+		n        = flag.Int("n", 96, "sor: grid dimension")
+		rows     = flag.Int("rows", 8192, "tpcd: lineitem rows")
+		tx       = flag.Int("tx", 15, "tpcc: transactions per agent")
+	)
+	flag.Parse()
+
+	type cell struct {
+		name string
+		run  func() compass.Result
+	}
+	mk := func(arch compass.Arch, nn int) compass.Config {
+		cfg := compass.DefaultConfig()
+		cfg.Arch = arch
+		cfg.Nodes = nn
+		if arch == compass.ArchCCNUMA {
+			cfg.Placement = compass.PlaceFirstTouch
+		}
+		return cfg
+	}
+	var cells []cell
+	switch *workload {
+	case "sor":
+		w := compass.SORConfig{N: *n, Iters: 5, Procs: 4}
+		cells = []cell{
+			{"smp", func() compass.Result { return compass.RunSOR(mk(compass.ArchSMP, 1), w) }},
+			{"ccnuma", func() compass.Result { return compass.RunSOR(mk(compass.ArchCCNUMA, *nodes), w) }},
+			{"coma", func() compass.Result { return compass.RunSOR(mk(compass.ArchCOMA, *nodes), w) }},
+			{"sw-dsm", func() compass.Result { return compass.RunSORDSM(compass.DefaultConfig(), w) }},
+		}
+	case "tpcd":
+		w := compass.DefaultTPCD()
+		w.Rows = *rows
+		cells = []cell{
+			{"simple", func() compass.Result { return compass.RunTPCD(mk(compass.ArchSimple, 1), w) }},
+			{"smp", func() compass.Result { return compass.RunTPCD(mk(compass.ArchSMP, 1), w) }},
+			{"ccnuma", func() compass.Result { return compass.RunTPCD(mk(compass.ArchCCNUMA, *nodes), w) }},
+			{"coma", func() compass.Result { return compass.RunTPCD(mk(compass.ArchCOMA, *nodes), w) }},
+		}
+	case "tpcc":
+		w := compass.DefaultTPCC()
+		w.TxPerAgent = *tx
+		cells = []cell{
+			{"simple", func() compass.Result { return compass.RunTPCC(mk(compass.ArchSimple, 1), w) }},
+			{"smp", func() compass.Result { return compass.RunTPCC(mk(compass.ArchSMP, 1), w) }},
+			{"ccnuma", func() compass.Result { return compass.RunTPCC(mk(compass.ArchCCNUMA, *nodes), w) }},
+			{"coma", func() compass.Result { return compass.RunTPCC(mk(compass.ArchCOMA, *nodes), w) }},
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	fmt.Printf("architecture study: %s\n", *workload)
+	fmt.Printf("%-8s %14s %8s %8s %8s\n", "target", "sim cycles", "user%", "OS%", "wall(s)")
+	base := uint64(0)
+	for _, c := range cells {
+		res := c.run()
+		if base == 0 {
+			base = res.Cycles
+		}
+		fmt.Printf("%-8s %14d %7.1f%% %7.1f%% %8.2f   (%.2fx of %s)\n",
+			c.name, res.Cycles, res.Profile.UserPct, res.Profile.OSPct,
+			res.Wall.Seconds(), float64(res.Cycles)/float64(base), cells[0].name)
+	}
+}

@@ -1,0 +1,36 @@
+// Command compassprof regenerates the paper's Table 1 ("User vs. OS
+// time"): the user / OS / interrupt-handler / kernel split for
+// SPECWeb/httpd, TPCD/db and TPCC/db on a 4-way simulated machine, with
+// the paper's reported values alongside.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"compass"
+)
+
+func main() {
+	var (
+		cpus     = flag.Int("cpus", 4, "simulated CPUs")
+		tx       = flag.Int("tpcc-tx", 25, "TPCC transactions per agent")
+		rows     = flag.Int("tpcd-rows", 16384, "TPCD lineitem rows")
+		requests = flag.Int("web-requests", 120, "SPECWeb trace length")
+	)
+	flag.Parse()
+
+	scale := compass.DefaultTable1Scale()
+	scale.CPUs = *cpus
+	scale.TPCCTx = *tx
+	scale.TPCDRows = *rows
+	scale.WebRequests = *requests
+	table := compass.Table1(scale)
+	fmt.Println("Table 1: User vs. OS time")
+	fmt.Print(compass.FormatTable1(table))
+	fmt.Println()
+	fmt.Println("Per-kernel-call breakdown (the paper's \"handful of OS calls\"):")
+	for _, r := range table {
+		fmt.Printf("\n%s\n%s", r.Profile.Name, r.Syscalls)
+	}
+}

@@ -1,0 +1,116 @@
+// Command compassrun executes one workload on a configured simulated
+// machine and prints the time profile and backend statistics.
+//
+// Usage:
+//
+//	compassrun -workload tpcc -cpus 4 -arch simple -sched affinity
+//	compassrun -workload specweb -cpus 4 -requests 200
+//	compassrun -workload tpcd -arch ccnuma -nodes 4 -placement first-touch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"compass"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "tpcd", "tpcc | tpcd | specweb | sor")
+		cpus      = flag.Int("cpus", 4, "simulated CPUs")
+		arch      = flag.String("arch", "simple", "fixed | simple | smp | ccnuma | coma")
+		nodes     = flag.Int("nodes", 1, "NUMA nodes (ccnuma/coma)")
+		placement = flag.String("placement", "round-robin", "round-robin | block | first-touch")
+		sched     = flag.String("sched", "fcfs", "fcfs | affinity")
+		preempt   = flag.Bool("preempt", false, "preemptive scheduling")
+		agents    = flag.Int("agents", 4, "workload processes")
+		tx        = flag.Int("tx", 25, "tpcc: transactions per agent")
+		rows      = flag.Int("rows", 16384, "tpcd: lineitem rows")
+		requests  = flag.Int("requests", 120, "specweb: trace length")
+		counters  = flag.Bool("counters", false, "dump backend counters")
+		syscalls  = flag.Bool("syscalls", false, "dump per-kernel-call profile")
+		syncd     = flag.Uint64("syncd", 0, "buffer-cache flush daemon interval in cycles (0 = off)")
+		migrate   = flag.Int("migrate", 0, "ccnuma page-migration threshold (0 = off)")
+	)
+	flag.Parse()
+
+	cfg := compass.DefaultConfig()
+	cfg.CPUs = *cpus
+	cfg.Nodes = *nodes
+	switch *arch {
+	case "fixed":
+		cfg.Arch = compass.ArchFixed
+	case "simple":
+		cfg.Arch = compass.ArchSimple
+	case "smp":
+		cfg.Arch = compass.ArchSMP
+	case "ccnuma":
+		cfg.Arch = compass.ArchCCNUMA
+	case "coma":
+		cfg.Arch = compass.ArchCOMA
+	default:
+		fmt.Fprintf(os.Stderr, "unknown arch %q\n", *arch)
+		os.Exit(2)
+	}
+	switch *placement {
+	case "round-robin":
+		cfg.Placement = compass.PlaceRoundRobin
+	case "block":
+		cfg.Placement = compass.PlaceBlock
+	case "first-touch":
+		cfg.Placement = compass.PlaceFirstTouch
+	default:
+		fmt.Fprintf(os.Stderr, "unknown placement %q\n", *placement)
+		os.Exit(2)
+	}
+	if *sched == "affinity" {
+		cfg.Scheduler = compass.SchedAffinity
+	}
+	cfg.Preemptive = *preempt
+	cfg.SyncdInterval = *syncd
+	cfg.MigrateThreshold = *migrate
+
+	var res compass.Result
+	switch *workload {
+	case "tpcc":
+		w := compass.DefaultTPCC()
+		w.Agents = *agents
+		w.TxPerAgent = *tx
+		res = compass.RunTPCC(cfg, w)
+	case "tpcd":
+		w := compass.DefaultTPCD()
+		w.Agents = *agents
+		w.Rows = *rows
+		res = compass.RunTPCD(cfg, w)
+	case "specweb":
+		w := compass.DefaultSPECWeb()
+		w.Requests = *requests
+		res = compass.RunSPECWeb(cfg, w, *agents, *agents*2)
+	case "sor":
+		res = compass.RunSOR(cfg, compass.SORConfig{N: 64, Iters: 6, Procs: *agents})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	fmt.Println(res)
+	keys := make([]string, 0, len(res.Extra))
+	for k := range res.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-18s %.1f\n", k, res.Extra[k])
+	}
+	if *counters {
+		fmt.Println()
+		fmt.Print(res.Counters.String())
+	}
+	if *syscalls {
+		fmt.Println()
+		fmt.Print(res.Syscalls)
+	}
+}

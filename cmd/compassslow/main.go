@@ -1,0 +1,41 @@
+// Command compassslow regenerates the paper's Tables 2 and 3 (simulation
+// slowdown): the TPCD query run raw (simulation switch off), under the
+// simple backend (one cache level) and under the complex backend
+// (CC-NUMA), on a uniprocessor host (Table 2, GOMAXPROCS=1) and a 4-way
+// host (Table 3, GOMAXPROCS=4).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"compass"
+)
+
+func main() {
+	var (
+		rows   = flag.Int("rows", 16384, "TPCD lineitem rows")
+		agents = flag.Int("agents", 4, "frontend processes")
+		cpus   = flag.Int("cpus", 4, "simulated CPUs")
+		host   = flag.Int("host", 4, "host CPUs for the Table-3 run")
+	)
+	flag.Parse()
+
+	fmt.Println("Table 2: slowdown on uniprocessor host")
+	t2 := compass.Slowdown(1, *cpus, *agents, *rows)
+	fmt.Print(t2.Format())
+	fmt.Println("(paper, 133MHz PowerPC: raw 52s; simple 16149s = 310x; complex 34841s = 670x)")
+	fmt.Println()
+
+	fmt.Printf("Table 3: slowdown on %d-way SMP host\n", *host)
+	t3 := compass.Slowdown(*host, *cpus, *agents, *rows)
+	fmt.Print(t3.Format())
+	fmt.Println("(paper: COMPASS runs >2x faster on the SMP host for the complex backend)")
+	fmt.Println()
+
+	// Cross-table speedup, the paper's headline observation.
+	for i := 1; i < 3; i++ {
+		sp := float64(t2.Rows[i].Wall) / float64(t3.Rows[i].Wall)
+		fmt.Printf("SMP-host speedup, %s: %.2fx\n", t2.Rows[i].Mode, sp)
+	}
+}

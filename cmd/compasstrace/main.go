@@ -1,0 +1,104 @@
+// Command compasstrace manages HTTP request trace files — the paper's
+// intermediate trace mechanism (§4.2): generate a SPECWeb96-like trace and
+// save it, inspect a saved trace, or replay one against the simulated web
+// server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compass/internal/apps/httpd"
+	"compass/internal/frontend"
+	"compass/internal/machine"
+	"compass/internal/specweb"
+	"compass/internal/trace"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "generate", "generate | show | replay")
+		file     = flag.String("file", "specweb.trace", "trace file path")
+		requests = flag.Int("requests", 200, "trace length (generate)")
+		dirs     = flag.Int("dirs", 2, "fileset directories")
+		workers  = flag.Int("workers", 4, "server processes (replay)")
+	)
+	flag.Parse()
+
+	swCfg := specweb.DefaultConfig()
+	swCfg.Requests = *requests
+	swCfg.Dirs = *dirs
+
+	switch *mode {
+	case "generate":
+		tr := specweb.GenerateTrace(swCfg)
+		f, err := os.Create(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tr.Save(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d requests to %s\n", len(tr), *file)
+
+	case "show":
+		tr := load(*file)
+		var bytes int64
+		for _, r := range tr {
+			bytes += int64(r.Size)
+		}
+		fmt.Printf("%s: %d requests, %d body bytes, first: %s %d\n",
+			*file, len(tr), bytes, tr[0].Path, tr[0].Size)
+
+	case "replay":
+		tr := load(*file)
+		cfg := machine.Default()
+		m := machine.New(cfg)
+		specweb.GenerateFileset(m.FS, swCfg)
+		hcfg := httpd.DefaultConfig()
+		hcfg.Workers = *workers
+		m.FS.SetupCreate(hcfg.LogFile, nil)
+		st := make([]httpd.Stats, *workers)
+		for i := 0; i < *workers; i++ {
+			i := i
+			m.SpawnConnected(fmt.Sprintf("httpd%d", i), func(p *frontend.Proc) {
+				httpd.Worker(p, hcfg, &st[i])
+			})
+		}
+		player := trace.NewPlayer(m.Sim, m.NIC, tr, trace.PlayerConfig{
+			Concurrency: *workers * 2,
+			ThinkCycles: 20_000,
+			Workers:     *workers,
+			Port:        hcfg.Port,
+		})
+		player.Start()
+		end := m.Sim.Run()
+		fmt.Printf("replayed %d requests in %d simulated cycles (%.0f cycles mean latency, %d bad)\n",
+			player.Completed, end, player.Latency.Mean(), player.BadBytes)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func load(path string) trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Load(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(tr) == 0 {
+		fatal(fmt.Errorf("%s: empty trace", path))
+	}
+	return tr
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compasstrace:", err)
+	os.Exit(1)
+}

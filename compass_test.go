@@ -1,0 +1,207 @@
+package compass
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"compass/internal/apps/db"
+	"compass/internal/apps/tpcd"
+	"compass/internal/frontend"
+	"compass/internal/machine"
+)
+
+func smallTPCD() TPCDConfig {
+	w := DefaultTPCD()
+	w.Rows = 2048
+	w.Orders = 32
+	w.Agents = 2
+	return w
+}
+
+func TestRunTPCDFacade(t *testing.T) {
+	res := RunTPCD(DefaultConfig(), smallTPCD())
+	if res.Cycles == 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	if res.Profile.TotalCycles == 0 {
+		t.Fatal("empty profile")
+	}
+	if res.Counters.Get("simple.loads") == 0 && res.Counters.Get("simple.stores") == 0 {
+		t.Error("no memory traffic recorded")
+	}
+	if !strings.Contains(res.String(), "TPCD") {
+		t.Error("summary missing name")
+	}
+}
+
+func TestRawModeIsFasterAndSkipsModel(t *testing.T) {
+	w := smallTPCD()
+	w.Agents = 1
+	cfg := DefaultConfig()
+	cfg.CPUs = 1
+	sim := RunTPCDQueries(cfg, w, QueryScanAgg, true)
+	raw := RunTPCDQueries(cfg, w, QueryScanAgg, false)
+	// The raw run must drive far fewer events into the memory model.
+	simTraffic := sim.Counters.Get("simple.loads") + sim.Counters.Get("simple.stores")
+	rawTraffic := raw.Counters.Get("simple.loads") + raw.Counters.Get("simple.stores")
+	if rawTraffic >= simTraffic/10 {
+		t.Errorf("raw traffic %d not ≪ simulated traffic %d", rawTraffic, simTraffic)
+	}
+}
+
+func TestRunTPCCFacade(t *testing.T) {
+	w := DefaultTPCC()
+	w.Agents = 2
+	w.TxPerAgent = 6
+	res := RunTPCC(DefaultConfig(), w)
+	if res.Extra["transactions"] != 12 {
+		t.Errorf("transactions = %f", res.Extra["transactions"])
+	}
+	if res.Extra["pool.misses"] == 0 {
+		t.Error("no pool misses recorded")
+	}
+}
+
+func TestRunSPECWebFacade(t *testing.T) {
+	w := DefaultSPECWeb()
+	w.Requests = 25
+	res := RunSPECWeb(DefaultConfig(), w, 2, 4)
+	if res.Extra["requests"] != 25 || res.Extra["served"] != 25 {
+		t.Errorf("requests=%f served=%f", res.Extra["requests"], res.Extra["served"])
+	}
+	if res.Profile.OSPct < 50 {
+		t.Errorf("web OS share %.1f%% too low", res.Profile.OSPct)
+	}
+}
+
+func TestRunSORFacade(t *testing.T) {
+	res := RunSOR(DefaultConfig(), SORConfig{N: 26, Iters: 4, Procs: 4})
+	if res.Profile.OSPct > 15 {
+		t.Errorf("SOR OS share %.1f%%", res.Profile.OSPct)
+	}
+}
+
+func TestTable1SmallScale(t *testing.T) {
+	rows := Table1(Table1Scale{CPUs: 2, TPCCTx: 6, TPCDRows: 2048, WebRequests: 20})
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Shape assertions (scaled-down, so bounds are loose): the web server
+	// is OS-dominated; the database workloads are user-dominated.
+	if rows[0].Profile.OSPct < 50 {
+		t.Errorf("SPECWeb OS %.1f%%, want > 50%%", rows[0].Profile.OSPct)
+	}
+	if rows[1].Profile.UserPct < 50 {
+		t.Errorf("TPCD user %.1f%%, want > 50%%", rows[1].Profile.UserPct)
+	}
+	if rows[2].Profile.UserPct < 50 {
+		t.Errorf("TPCC user %.1f%%, want > 50%%", rows[2].Profile.UserPct)
+	}
+	txt := FormatTable1(rows)
+	if !strings.Contains(txt, "benchmark") || !strings.Contains(txt, "interrupt") {
+		t.Error("table header missing")
+	}
+	t.Logf("\n%s", txt)
+}
+
+func TestSlowdownSmall(t *testing.T) {
+	res := Slowdown(1, 1, 1, 2048)
+	if len(res.Rows) != 3 {
+		t.Fatal("want 3 rows")
+	}
+	if res.Rows[1].Slowdown <= res.Rows[0].Slowdown {
+		t.Errorf("simple backend slowdown %.1f not above raw", res.Rows[1].Slowdown)
+	}
+	if res.Rows[2].Slowdown <= 1 {
+		t.Errorf("complex backend slowdown %.2f not above raw", res.Rows[2].Slowdown)
+	}
+	if !strings.Contains(res.Format(), "backend") {
+		t.Error("format broken")
+	}
+}
+
+func TestRunSORDSMFacade(t *testing.T) {
+	res := RunSORDSM(DefaultConfig(), SORConfig{N: 32, Iters: 2, Procs: 4})
+	if res.Extra["dsm.faults"] == 0 || res.Extra["dsm.pagemoves"] == 0 {
+		t.Errorf("DSM protocol idle: %+v", res.Extra)
+	}
+	if res.Cycles == 0 {
+		t.Error("no simulated time")
+	}
+}
+
+func TestRunBatchSweepGranularityInvariant(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPUs = 2
+	a := RunBatchSweep(cfg, 1, 3000)
+	b := RunBatchSweep(cfg, 8, 3000)
+	if a != b {
+		t.Errorf("batching changed simulated time: %d vs %d", a, b)
+	}
+}
+
+func TestRunTier3Facade(t *testing.T) {
+	res := RunTier3(DefaultConfig(), DefaultTier3(), 30)
+	if res.Extra["requests"] != 30 || res.Extra["ok"] != 30 {
+		t.Errorf("requests=%.0f ok=%.0f", res.Extra["requests"], res.Extra["ok"])
+	}
+	if res.Syscalls == "" {
+		t.Error("no syscall profile")
+	}
+}
+
+func TestSyscallProfileInResult(t *testing.T) {
+	w := smallTPCD()
+	res := RunTPCD(DefaultConfig(), w)
+	if !strings.Contains(res.Syscalls, "kreadv") {
+		t.Errorf("syscall profile missing kreadv:\n%s", res.Syscalls)
+	}
+}
+
+// TestArchitecturesFunctionallyEquivalent runs the same query on every
+// target architecture: timing differs, but the execution-driven results
+// must be identical to the oracle (the memory models are timing-only by
+// design, so they must never perturb data).
+func TestArchitecturesFunctionallyEquivalent(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		arch  Arch
+		nodes int
+	}{
+		{"fixed", ArchFixed, 1},
+		{"simple", ArchSimple, 1},
+		{"smp", ArchSMP, 1},
+		{"ccnuma", ArchCCNUMA, 4},
+		{"coma", ArchCOMA, 4},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Arch = tc.arch
+			cfg.Nodes = tc.nodes
+			m := machine.New(cfg)
+			w := tpcd.Setup(m.FS, tpcd.Config{Rows: 2048, Orders: 32, Agents: 4, PoolPages: 16, Seed: 7})
+			pages := w.LineitemPages()
+			partials := make([]tpcd.Q1Result, 4)
+			for i := 0; i < 4; i++ {
+				i := i
+				m.SpawnConnected(fmt.Sprintf("a%d", i), func(p *frontend.Proc) {
+					a := db.NewAgent(p, w.Cat)
+					partials[i] = w.Q1(p, a, pages*i/4, pages*(i+1)/4, 1200)
+					a.Close()
+				})
+			}
+			m.Sim.Run()
+			var got tpcd.Q1Result
+			for _, pr := range partials {
+				got.Count += pr.Count
+				got.SumQty += pr.SumQty
+				got.SumPrice += pr.SumPrice
+			}
+			if got != w.HostQ1(1200) {
+				t.Errorf("%s: Q1 = %+v, oracle %+v", tc.name, got, w.HostQ1(1200))
+			}
+		})
+	}
+}

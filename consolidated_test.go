@@ -1,0 +1,136 @@
+package compass
+
+import (
+	"fmt"
+	"testing"
+
+	"compass/internal/apps/httpd"
+	"compass/internal/apps/splash"
+	"compass/internal/apps/tpcc"
+	"compass/internal/frontend"
+	"compass/internal/machine"
+	"compass/internal/mem"
+	"compass/internal/osserver"
+	"compass/internal/simsync"
+	"compass/internal/specweb"
+	"compass/internal/trace"
+)
+
+// runConsolidated puts all three application classes on one simulated
+// machine — OLTP agents, web workers under client load, and a scientific
+// kernel — the mixed commercial server the paper's simulator was built to
+// study. Returns (final cycle, total charged cycles, completed web
+// requests, tpcc verify error).
+func runConsolidated(t *testing.T) (uint64, uint64, uint64, error) {
+	t.Helper()
+	cfg := machine.Default()
+	cfg.CPUs = 4
+	cfg.Scheduler = 1 // affinity
+	m := machine.New(cfg)
+
+	// OLTP tier.
+	tw := tpcc.DefaultConfig()
+	tw.Agents = 2
+	tw.TxPerAgent = 8
+	wl := tpcc.Setup(m.FS, tw)
+	var verifyErr error
+	finishedWord := 40 // spare lock word in the buffer-pool segment header
+	for i := 0; i < tw.Agents; i++ {
+		i := i
+		m.SpawnConnected(fmt.Sprintf("oltp%d", i), func(p *frontend.Proc) {
+			wl.Agent(p, i)
+			os := osserver.For(p)
+			segID, _ := os.ShmGet(wl.Cat.ShmKey, wl.Cat.SegmentBytes())
+			base, _ := os.ShmAt(segID)
+			(&simsync.Counter{Addr: base + mem.VirtAddr(4*finishedWord)}).Add(p, 1)
+		})
+	}
+
+	// Web tier with its own fileset and client population.
+	sw := specweb.DefaultConfig()
+	sw.Requests = 25
+	specweb.GenerateFileset(m.FS, sw)
+	hcfg := httpd.DefaultConfig()
+	hcfg.Workers = 2
+	hcfg.LogFile = "" // keep the fs namespace tidy
+	st := make([]httpd.Stats, hcfg.Workers)
+	for i := 0; i < hcfg.Workers; i++ {
+		i := i
+		m.SpawnConnected(fmt.Sprintf("httpd%d", i), func(p *frontend.Proc) {
+			httpd.Worker(p, hcfg, &st[i])
+		})
+	}
+	player := trace.NewPlayer(m.Sim, m.NIC, specweb.GenerateTrace(sw), trace.PlayerConfig{
+		Concurrency: 2, ThinkCycles: 40_000, Workers: hcfg.Workers, Port: hcfg.Port,
+	})
+	player.Start()
+
+	// Background scientific job competing for CPUs.
+	sor := splash.NewSOR(splash.SORConfig{N: 18, Iters: 3, Procs: 2})
+	for i := 0; i < 2; i++ {
+		i := i
+		m.SpawnConnected(fmt.Sprintf("sor%d", i), func(p *frontend.Proc) {
+			sor.Worker(p, i)
+		})
+	}
+
+	// A verifier process waits (via a shared counter) for every OLTP agent
+	// to finish, then checks database consistency in-simulation.
+	m.SpawnConnected("verify", func(p *frontend.Proc) {
+		os := osserver.For(p)
+		segID, _ := os.ShmGet(wl.Cat.ShmKey, wl.Cat.SegmentBytes())
+		base, _ := os.ShmAt(segID)
+		finished := &simsync.Counter{Addr: base + mem.VirtAddr(4*finishedWord)}
+		for finished.Load(p) < uint64(tw.Agents) {
+			p.ComputeCycles(100_000)
+			p.Yield()
+		}
+		verifyErr = wl.VerifyOrders(p)
+	})
+
+	end := m.Sim.Run()
+	total := m.Sim.TotalAccount()
+
+	var served uint64
+	for _, s := range st {
+		served += s.Served
+	}
+	if served != player.Completed {
+		t.Errorf("served %d != completed %d", served, player.Completed)
+	}
+	// The SOR result must still match its oracle despite the competition.
+	want := splash.HostSOR(splash.SORConfig{N: 18, Iters: 3, Procs: 2})
+	got := sor.Grid()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("SOR diverged under consolidation at %d", i)
+			break
+		}
+	}
+	return uint64(end), total.Total(), player.Completed, verifyErr
+}
+
+func TestConsolidatedWorkloads(t *testing.T) {
+	end, total, completed, verifyErr := runConsolidated(t)
+	if completed != 25 {
+		t.Errorf("web requests completed: %d/25", completed)
+	}
+	if verifyErr != nil {
+		t.Errorf("OLTP verification failed under consolidation: %v", verifyErr)
+	}
+	if end == 0 || total == 0 {
+		t.Error("empty run")
+	}
+}
+
+func TestConsolidatedDeterministic(t *testing.T) {
+	e1, t1, c1, v1 := runConsolidated(t)
+	e2, t2, c2, v2 := runConsolidated(t)
+	if e1 != e2 || t1 != t2 || c1 != c2 {
+		t.Errorf("nondeterministic consolidation: end %d/%d total %d/%d web %d/%d",
+			e1, e2, t1, t2, c1, c2)
+	}
+	if (v1 == nil) != (v2 == nil) {
+		t.Error("verification outcome differs across replays")
+	}
+}

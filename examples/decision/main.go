@@ -1,0 +1,32 @@
+// Decision support: the TPC-D-like scan/aggregate queries, including the
+// mmap-based scan that exercises the paper's mmap/munmap/msync profile,
+// with the buffer-cache and page-in counters that explain the OS share.
+package main
+
+import (
+	"fmt"
+
+	"compass"
+)
+
+func main() {
+	cfg := compass.DefaultConfig()
+	w := compass.DefaultTPCD()
+	w.Rows = 16384
+	w.Agents = 4
+
+	scan := compass.RunTPCD(cfg, w)
+	fmt.Println("Q1+Q6 partitioned scans through the shared buffer pool:")
+	fmt.Println(scan)
+
+	w.Agents = 1
+	mm := compass.RunTPCDQueries(cfg, w, compass.QueryMmap, true)
+	fmt.Println("\nmmap-based scan (page faults page blocks in through the buffer cache):")
+	fmt.Println(mm)
+	fmt.Printf("  page-ins: %d, mmaps: %d, munmaps: %d\n",
+		mm.Counters.Get("vm.pagein"), mm.Counters.Get("vm.mmap"), mm.Counters.Get("vm.munmap"))
+
+	jn := compass.RunTPCDQueries(cfg, w, compass.QueryJoin, true)
+	fmt.Println("\norder ⋈ lineitem nested-loop join:")
+	fmt.Println(jn)
+}

@@ -1,0 +1,313 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"compass/internal/fs"
+	"compass/internal/isa"
+	"compass/internal/mem"
+)
+
+// B+tree index over (uint32 key → uint32 rowid), stored in table-file pages
+// and searched through the shared buffer pool: every node visit pins a
+// page, runs a real binary search over real big-endian bytes, and charges
+// the comparisons — index traversal behaves like DB2's, including the cache
+// and I/O behaviour of hot root pages versus cold leaves.
+//
+// Page layout (4096 B):
+//
+//	[0]  level   (0 = leaf)
+//	[4]  nkeys
+//	leaf:     nkeys × (key u32, rowid u32)            starting at byte 8
+//	interior: nkeys × (sepKey u32, childPage u32)     starting at byte 8
+//	          child covers keys <= sepKey; the last separator is MaxUint32.
+const (
+	btHeader   = 8
+	btPairSize = 8
+	// BTreeFanout is the number of entries per node.
+	BTreeFanout = (PageBytes - btHeader) / btPairSize // 511
+)
+
+// BTree is a read-mostly index built at setup time (bulk load) and searched
+// at run time. The index occupies its own "table" so it flows through the
+// same buffer pool as the data.
+type BTree struct {
+	Table *Table
+	// Root is the root page number (within the index table).
+	Root int
+	// Height is the number of levels (1 = root is a leaf).
+	Height int
+}
+
+// BuildBTree bulk-loads an index over sorted (key, rowid) pairs and writes
+// it as a table file (setup context). Entries need not be pre-sorted.
+func BuildBTree(filesys *fs.FS, cat *Catalog, name, file string, entries map[uint32]uint32) *BTree {
+	keys := make([]uint32, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Build leaves.
+	type node struct {
+		level int
+		pairs [][2]uint32
+	}
+	var pages []node
+	var level []int // page numbers of the current level
+	for start := 0; start < len(keys) || len(pages) == 0; start += BTreeFanout {
+		end := start + BTreeFanout
+		if end > len(keys) {
+			end = len(keys)
+		}
+		n := node{level: 0}
+		for _, k := range keys[start:end] {
+			n.pairs = append(n.pairs, [2]uint32{k, entries[k]})
+		}
+		level = append(level, len(pages))
+		pages = append(pages, n)
+		if end >= len(keys) {
+			break
+		}
+	}
+	// Build interior levels until a single root remains.
+	lv := 1
+	for len(level) > 1 {
+		var next []int
+		for start := 0; start < len(level); start += BTreeFanout {
+			end := start + BTreeFanout
+			if end > len(level) {
+				end = len(level)
+			}
+			n := node{level: lv}
+			for _, childPg := range level[start:end] {
+				child := pages[childPg]
+				sep := uint32(0xFFFFFFFF)
+				if len(child.pairs) > 0 {
+					sep = child.pairs[len(child.pairs)-1][0]
+				}
+				n.pairs = append(n.pairs, [2]uint32{sep, uint32(childPg)})
+			}
+			// The rightmost separator covers everything above.
+			n.pairs[len(n.pairs)-1][0] = 0xFFFFFFFF
+			next = append(next, len(pages))
+			pages = append(pages, n)
+		}
+		level = next
+		lv++
+	}
+
+	// Serialize.
+	data := make([]byte, len(pages)*PageBytes)
+	for pg, n := range pages {
+		off := pg * PageBytes
+		putU32(data[off:], uint32(n.level))
+		putU32(data[off+4:], uint32(len(n.pairs)))
+		for i, pr := range n.pairs {
+			putU32(data[off+btHeader+i*btPairSize:], pr[0])
+			putU32(data[off+btHeader+i*btPairSize+4:], pr[1])
+		}
+	}
+	tab := cat.AddTable(name, file, btPairSize, len(pages)*(PageBytes/btPairSize))
+	filesys.SetupCreate(file, data)
+	return &BTree{Table: tab, Root: level[0], Height: lv}
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// Lookup searches for key, returning (rowid, true) on a hit. Every node on
+// the root-to-leaf path is pinned through the buffer pool and binary-
+// searched with charged touches and compare instructions.
+func (bt *BTree) Lookup(a *Agent, key uint32) (uint32, bool) {
+	pg := bt.Root
+	for depth := 0; depth <= bt.Height+1; depth++ {
+		si := a.GetPage(bt.Table, pg)
+		s := &a.sh.slots[si]
+		lvl := getU32(s.data[0:])
+		n := int(getU32(s.data[4:]))
+		idx, found := bt.searchNode(a, si, s.data, n, key)
+		if lvl == 0 {
+			if !found {
+				a.Unpin(si, false)
+				return 0, false
+			}
+			rowid := getU32(s.data[btHeader+idx*btPairSize+4:])
+			a.Unpin(si, false)
+			return rowid, true
+		}
+		// Interior: idx is the first separator >= key.
+		if idx >= n {
+			idx = n - 1
+		}
+		child := getU32(s.data[btHeader+idx*btPairSize+4:])
+		a.Unpin(si, false)
+		pg = int(child)
+	}
+	panic(fmt.Sprintf("db: btree %s deeper than height %d", bt.Table.Name, bt.Height))
+}
+
+// searchNode runs the instrumented binary search: each probe touches the
+// pair it compares against and charges the compare.
+func (bt *BTree) searchNode(a *Agent, si int, data []byte, n int, key uint32) (int, bool) {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		off := btHeader + mid*btPairSize
+		a.P.TouchRange(a.slotVA(si)+mem.VirtAddr(off), btPairSize, false)
+		a.P.Compute(isa.InstrMix{Int: 4, Branch: 2})
+		k := getU32(data[off:])
+		switch {
+		case k == key:
+			return mid, true
+		case k < key:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// Insert adds (key, rowid) to the index at run time. Leaves split when
+// full; splits propagate upward; a full root splits into a new root (the
+// index table grows by appending pages through the filesystem). All page
+// reads and writes flow through the shared buffer pool with charged
+// traffic, and the caller must serialize writers (a simulated index latch),
+// as the engine's other structures do.
+func (bt *BTree) Insert(a *Agent, key, rowid uint32) {
+	sepKey, newPage, grew := bt.insertAt(a, bt.Root, key, rowid)
+	if !grew {
+		return
+	}
+	// Root split: build a new root over {old root, new page}.
+	newRoot := bt.appendPage(a)
+	si := a.GetPage(bt.Table, newRoot)
+	s := &a.sh.slots[si]
+	lvl := bt.Height // new level above the old root
+	putU32(s.data[0:], uint32(lvl))
+	putU32(s.data[4:], 2)
+	putU32(s.data[btHeader:], sepKey)
+	putU32(s.data[btHeader+4:], uint32(bt.Root))
+	putU32(s.data[btHeader+8:], 0xFFFFFFFF)
+	putU32(s.data[btHeader+12:], uint32(newPage))
+	a.P.TouchRange(a.slotVA(si), btHeader+2*btPairSize, true)
+	a.P.Compute(isa.InstrMix{Int: 60, Branch: 10})
+	a.Unpin(si, true)
+	bt.Root = newRoot
+	bt.Height++
+}
+
+// insertAt descends to the leaf, inserts, and reports a split: when grew
+// is true, the subtree at page now has a right sibling newPage whose
+// separator is sepKey (the left page's new max).
+func (bt *BTree) insertAt(a *Agent, page int, key, rowid uint32) (sepKey uint32, newPage int, grew bool) {
+	si := a.GetPage(bt.Table, page)
+	s := &a.sh.slots[si]
+	lvl := getU32(s.data[0:])
+	n := int(getU32(s.data[4:]))
+
+	if lvl > 0 {
+		idx, _ := bt.searchNode(a, si, s.data, n, key)
+		if idx >= n {
+			idx = n - 1
+		}
+		child := int(getU32(s.data[btHeader+idx*btPairSize+4:]))
+		a.Unpin(si, false)
+		csep, cnew, cgrew := bt.insertAt(a, child, key, rowid)
+		if !cgrew {
+			return 0, 0, false
+		}
+		// Re-pin and record the split: entry idx becomes (csep → left
+		// child); a new entry (oldSep → new right page) follows it.
+		si = a.GetPage(bt.Table, page)
+		s = &a.sh.slots[si]
+		n = int(getU32(s.data[4:]))
+		copy(s.data[btHeader+(idx+1)*btPairSize:btHeader+(n+1)*btPairSize],
+			s.data[btHeader+idx*btPairSize:btHeader+n*btPairSize])
+		putU32(s.data[btHeader+idx*btPairSize:], csep)
+		putU32(s.data[btHeader+idx*btPairSize+4:], uint32(child))
+		putU32(s.data[btHeader+(idx+1)*btPairSize+4:], uint32(cnew))
+		putU32(s.data[4:], uint32(n+1))
+		moved := (n - idx + 1) * btPairSize
+		a.P.TouchRange(a.slotVA(si)+mem.VirtAddr(btHeader+idx*btPairSize), moved, true)
+		a.P.Compute(isa.InstrMix{Int: uint64(10 + moved/16), Branch: 6})
+		a.Unpin(si, true)
+		return bt.splitIfFull(a, page, int(lvl))
+	}
+
+	idx, found := bt.searchNode(a, si, s.data, n, key)
+	if found {
+		// Overwrite the rowid (upsert).
+		putU32(s.data[btHeader+idx*btPairSize+4:], rowid)
+		a.P.TouchRange(a.slotVA(si)+mem.VirtAddr(btHeader+idx*btPairSize), btPairSize, true)
+		a.Unpin(si, true)
+		return 0, 0, false
+	}
+	bt.insertPair(a, si, s, n, idx, key, rowid)
+	return bt.splitIfFull(a, page, 0)
+}
+
+// insertPair shifts entries right and writes the new leaf pair at idx.
+func (bt *BTree) insertPair(a *Agent, si int, s *slot, n, idx int, key, val uint32) {
+	copy(s.data[btHeader+(idx+1)*btPairSize:btHeader+(n+1)*btPairSize],
+		s.data[btHeader+idx*btPairSize:btHeader+n*btPairSize])
+	putU32(s.data[btHeader+idx*btPairSize:], key)
+	putU32(s.data[btHeader+idx*btPairSize+4:], val)
+	putU32(s.data[4:], uint32(n+1))
+	moved := (n - idx + 1) * btPairSize
+	a.P.TouchRange(a.slotVA(si)+mem.VirtAddr(btHeader+idx*btPairSize), moved, true)
+	a.P.Compute(isa.InstrMix{Int: uint64(10 + moved/16), Branch: 6})
+	a.Unpin(si, true)
+}
+
+// splitIfFull splits a full node into two, appending a fresh page for the
+// right half, and returns the left half's new separator. It takes the page
+// number, not a slot: the slot may have been recycled for another page by
+// unrelated pool traffic since the caller unpinned it.
+func (bt *BTree) splitIfFull(a *Agent, page, lvl int) (uint32, int, bool) {
+	si := a.GetPage(bt.Table, page)
+	s := &a.sh.slots[si]
+	n := int(getU32(s.data[4:]))
+	if n < BTreeFanout {
+		a.Unpin(si, false)
+		return 0, 0, false
+	}
+	right := bt.appendPage(a)
+	rsi := a.GetPage(bt.Table, right)
+	rs := &a.sh.slots[rsi]
+	half := n / 2
+	putU32(rs.data[0:], uint32(lvl))
+	putU32(rs.data[4:], uint32(n-half))
+	copy(rs.data[btHeader:], s.data[btHeader+half*btPairSize:btHeader+n*btPairSize])
+	putU32(s.data[4:], uint32(half))
+	a.P.TouchRange(a.slotVA(rsi), btHeader+(n-half)*btPairSize, true)
+	a.P.Compute(isa.InstrMix{Int: uint64(20 + (n-half)/4), Branch: 8})
+	sep := getU32(s.data[btHeader+(half-1)*btPairSize:])
+	a.Unpin(rsi, true)
+	a.Unpin(si, true)
+	return sep, right, true
+}
+
+// appendPage grows the index table by one zeroed page (through the
+// filesystem, so the new page is backed by a real disk block).
+func (bt *BTree) appendPage(a *Agent) int {
+	newPage := bt.Table.Pages()
+	fd := a.fds[bt.Table.Name]
+	a.OS.Lseek(fd, int64(newPage)*PageBytes, 0)
+	zero := make([]byte, PageBytes)
+	if _, err := a.OS.Write(fd, zero, 0, 0); err != nil {
+		panic(err)
+	}
+	bt.Table.Rows += PageBytes / btPairSize
+	return newPage
+}

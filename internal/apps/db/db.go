@@ -1,0 +1,394 @@
+// Package db is a from-scratch miniature relational storage engine standing
+// in for IBM DB2 (§4.1): a multi-process server with a shared buffer pool
+// in a System-V shared-memory segment, table files on the simulated
+// filesystem read with kreadv-style I/O, per-page latching, and row-level
+// access that charges real memory traffic against the pool's simulated
+// addresses. It is execution-driven: rows are real bytes (big-endian
+// records) and query results depend on them.
+package db
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"compass/internal/frontend"
+	"compass/internal/isa"
+	"compass/internal/mem"
+	"compass/internal/osserver"
+	"compass/internal/simsync"
+)
+
+// PageBytes is the database page size (matches the FS block size).
+const PageBytes = 4096
+
+// Table describes one table: fixed-size rows packed into pages.
+type Table struct {
+	Name    string
+	File    string
+	RowSize int
+	Rows    int
+}
+
+// RowsPerPage returns the table's rows-per-page fanout.
+func (t *Table) RowsPerPage() int { return PageBytes / t.RowSize }
+
+// Pages returns the number of pages the table occupies.
+func (t *Table) Pages() int {
+	rpp := t.RowsPerPage()
+	return (t.Rows + rpp - 1) / rpp
+}
+
+// PageOf returns the page and in-page offset of a row.
+func (t *Table) PageOf(row int) (page, off int) {
+	rpp := t.RowsPerPage()
+	return row / rpp, (row % rpp) * t.RowSize
+}
+
+// Catalog is the schema shared by every agent (built at setup, read-only
+// afterwards).
+type Catalog struct {
+	Tables map[string]*Table
+	// ShmKey identifies the buffer-pool segment.
+	ShmKey    int
+	PoolPages int
+	// LockWords is the number of 4-byte application lock words carved out
+	// of the segment header (row-group locks, the pool latch, counters).
+	LockWords int
+
+	pool *shared
+}
+
+// NewCatalog creates an empty schema.
+func NewCatalog(shmKey, poolPages int) *Catalog {
+	return &Catalog{
+		Tables:    make(map[string]*Table),
+		ShmKey:    shmKey,
+		PoolPages: poolPages,
+		LockWords: 256,
+	}
+}
+
+// headerBytes returns the segment-header size (locks + slot headers).
+func (c *Catalog) headerBytes() int { return c.LockWords*4 + c.PoolPages*64 }
+
+// SegmentBytes returns the total buffer-pool segment size.
+func (c *Catalog) SegmentBytes() uint32 {
+	return uint32(c.headerBytes() + c.PoolPages*PageBytes)
+}
+
+// AddTable registers a table.
+func (c *Catalog) AddTable(name, file string, rowSize, rows int) *Table {
+	t := &Table{Name: name, File: file, RowSize: rowSize, Rows: rows}
+	c.Tables[name] = t
+	return t
+}
+
+// EncodeRow packs 32-bit fields into a row buffer (big-endian, like the
+// PowerPC target).
+func EncodeRow(rowSize int, fields ...uint32) []byte {
+	row := make([]byte, rowSize)
+	for i, f := range fields {
+		binary.BigEndian.PutUint32(row[i*4:], f)
+	}
+	return row
+}
+
+// Field extracts the i-th 32-bit field of a row.
+func Field(row []byte, i int) uint32 {
+	return binary.BigEndian.Uint32(row[i*4:])
+}
+
+// SetField overwrites the i-th field.
+func SetField(row []byte, i int, v uint32) {
+	binary.BigEndian.PutUint32(row[i*4:], v)
+}
+
+// shared is the host-side state every agent shares, guarded by the pool
+// latch (a simulated spinlock), per the simulator's determinism rule.
+type shared struct {
+	slots        []slot
+	index        map[slotKey]int
+	lru          uint64
+	hits, misses uint64
+}
+
+type slotKey struct {
+	table string
+	page  int
+}
+
+type slot struct {
+	key    slotKey
+	data   []byte
+	dirty  bool
+	pins   int
+	ioBusy bool
+	lruSeq uint64
+	valid  bool
+}
+
+// Setup initializes the host-side pool state for a catalog (call once,
+// before Run).
+func Setup(c *Catalog) {
+	c.pool = &shared{
+		slots: make([]slot, c.PoolPages),
+		index: make(map[slotKey]int),
+	}
+}
+
+// Stats reports pool hit statistics after a run.
+func Stats(c *Catalog) (hits, misses uint64) {
+	return c.pool.hits, c.pool.misses
+}
+
+// Agent is one database server process's connection to the engine.
+type Agent struct {
+	P     *frontend.Proc
+	OS    *osserver.OSThread
+	Cat   *Catalog
+	base  mem.VirtAddr // segment base in this process
+	sh    *shared
+	latch simsync.SpinLock
+	fds   map[string]int
+}
+
+// NewAgent attaches the calling process to the buffer pool and opens the
+// table files.
+func NewAgent(p *frontend.Proc, cat *Catalog) *Agent {
+	os := osserver.For(p)
+	id, err := os.ShmGet(cat.ShmKey, cat.SegmentBytes())
+	if err != nil {
+		panic(err)
+	}
+	base, err := os.ShmAt(id)
+	if err != nil {
+		panic(err)
+	}
+	if cat.pool == nil {
+		panic("db: Setup(catalog) was not called")
+	}
+	a := &Agent{
+		P: p, OS: os, Cat: cat, base: base,
+		sh:    cat.pool,
+		latch: simsync.SpinLock{Addr: base},
+		fds:   make(map[string]int),
+	}
+	// Open table files in sorted order: map iteration order would make
+	// the syscall sequence — and hence the simulation — nondeterministic.
+	names := make([]string, 0, len(cat.Tables))
+	for name := range cat.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := cat.Tables[name]
+		fd, err := os.Open(t.File)
+		if err != nil {
+			panic(fmt.Sprintf("db: open %s: %v", t.File, err))
+		}
+		a.fds[name] = fd
+	}
+	return a
+}
+
+// LockWord returns the simulated address of application lock word i
+// (transaction locks: warehouse/district latches, commit counters).
+func (a *Agent) LockWord(i int) mem.VirtAddr {
+	if i < 1 || i >= a.Cat.LockWords {
+		panic(fmt.Sprintf("db: lock word %d out of range", i))
+	}
+	return a.base + mem.VirtAddr(i*4)
+}
+
+// Lock returns a spinlock over application lock word i.
+func (a *Agent) Lock(i int) *simsync.SpinLock {
+	return &simsync.SpinLock{Addr: a.LockWord(i)}
+}
+
+func (a *Agent) slotVA(i int) mem.VirtAddr {
+	return a.base + mem.VirtAddr(a.Cat.headerBytes()+i*PageBytes)
+}
+
+func (a *Agent) slotHdrVA(i int) mem.VirtAddr {
+	return a.base + mem.VirtAddr(a.Cat.LockWords*4+i*64)
+}
+
+// GetPage pins the page of a table in the buffer pool, reading it from the
+// table file on a miss (kreadv through the OS server), and returns the
+// slot index. Unpin when done.
+func (a *Agent) GetPage(t *Table, page int) int {
+	key := slotKey{table: t.Name, page: page}
+	for {
+		a.latch.Lock(a.P)
+		if i, ok := a.sh.index[key]; ok {
+			s := &a.sh.slots[i]
+			if s.ioBusy {
+				a.latch.Unlock(a.P)
+				a.P.ComputeCycles(400) // page in transit; give the loader a CPU
+				a.P.Yield()
+				continue
+			}
+			s.pins++
+			a.sh.lru++
+			s.lruSeq = a.sh.lru
+			a.sh.hits++
+			a.P.TouchRange(a.slotHdrVA(i), 64, true) // slot header
+			a.latch.Unlock(a.P)
+			return i
+		}
+		a.sh.misses++
+		// Choose a victim: unpinned, not busy, least recently used.
+		victim := -1
+		for i := range a.sh.slots {
+			s := &a.sh.slots[i]
+			if !s.valid {
+				victim = i
+				break
+			}
+			if s.pins > 0 || s.ioBusy {
+				continue
+			}
+			if victim < 0 || s.lruSeq < a.sh.slots[victim].lruSeq {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			a.latch.Unlock(a.P)
+			a.P.ComputeCycles(600)
+			a.P.Yield()
+			continue
+		}
+		s := &a.sh.slots[victim]
+		if s.valid && s.dirty {
+			// Write back the old page, pool latch released around the I/O.
+			old := s.key
+			snap := append([]byte(nil), s.data...)
+			s.ioBusy = true
+			a.latch.Unlock(a.P)
+			a.writePage(old, snap)
+			a.latch.Lock(a.P)
+			s.ioBusy = false
+			s.dirty = false
+			a.latch.Unlock(a.P)
+			continue // re-run: the world may have changed
+		}
+		// Claim the slot and load the new page.
+		if s.valid {
+			delete(a.sh.index, s.key)
+		}
+		*s = slot{key: key, data: make([]byte, PageBytes), ioBusy: true, valid: true, pins: 1}
+		a.sh.lru++
+		s.lruSeq = a.sh.lru
+		a.sh.index[key] = victim
+		a.latch.Unlock(a.P)
+
+		fd := a.fds[t.Name]
+		a.OS.Lseek(fd, int64(page)*PageBytes, 0)
+		if _, err := a.OS.Read(fd, s.data, PageBytes, a.slotVA(victim)); err != nil {
+			panic(fmt.Sprintf("db: read %s page %d: %v", t.Name, page, err))
+		}
+		a.latch.Lock(a.P)
+		s.ioBusy = false
+		a.latch.Unlock(a.P)
+		return victim
+	}
+}
+
+func (a *Agent) writePage(key slotKey, snap []byte) {
+	t := a.Cat.Tables[key.table]
+	fd := a.fds[t.Name]
+	a.OS.Lseek(fd, int64(key.page)*PageBytes, 0)
+	if _, err := a.OS.Write(fd, snap, 0, 0); err != nil {
+		panic(fmt.Sprintf("db: write %s page %d: %v", key.table, key.page, err))
+	}
+}
+
+// Unpin releases a pinned slot, optionally marking it dirty.
+func (a *Agent) Unpin(slotIdx int, dirty bool) {
+	a.latch.Lock(a.P)
+	s := &a.sh.slots[slotIdx]
+	s.pins--
+	if dirty {
+		s.dirty = true
+	}
+	a.latch.Unlock(a.P)
+}
+
+// ReadRow copies a row out of a pinned slot, charging the tuple access.
+func (a *Agent) ReadRow(t *Table, slotIdx, row int) []byte {
+	_, off := t.PageOf(row)
+	a.P.TouchRange(a.slotVA(slotIdx)+mem.VirtAddr(off), t.RowSize, false)
+	a.P.Compute(isa.InstrMix{Int: uint64(8 + t.RowSize/8), Branch: 2})
+	s := &a.sh.slots[slotIdx]
+	out := make([]byte, t.RowSize)
+	copy(out, s.data[off:off+t.RowSize])
+	return out
+}
+
+// WriteRow stores a row into a pinned slot (caller must Unpin dirty).
+func (a *Agent) WriteRow(t *Table, slotIdx, row int, data []byte) {
+	_, off := t.PageOf(row)
+	a.P.TouchRange(a.slotVA(slotIdx)+mem.VirtAddr(off), t.RowSize, true)
+	a.P.Compute(isa.InstrMix{Int: uint64(8 + t.RowSize/8), Branch: 2})
+	s := &a.sh.slots[slotIdx]
+	copy(s.data[off:off+t.RowSize], data)
+}
+
+// FetchRow reads one row with page pin/unpin around it (point query).
+func (a *Agent) FetchRow(t *Table, row int) []byte {
+	page, _ := t.PageOf(row)
+	si := a.GetPage(t, page)
+	out := a.ReadRow(t, si, row)
+	a.Unpin(si, false)
+	return out
+}
+
+// UpdateRow rewrites one row in place (point update).
+func (a *Agent) UpdateRow(t *Table, row int, data []byte) {
+	page, _ := t.PageOf(row)
+	si := a.GetPage(t, page)
+	a.WriteRow(t, si, row, data)
+	a.Unpin(si, true)
+}
+
+// AppendLog appends a record to a log file and fsyncs every groupCommit
+// appends (the WAL commit path: kwritev + occasional fsync).
+type AppendLog struct {
+	fd    int
+	count int
+	group int
+}
+
+// OpenLog opens (or creates) a log file for appending.
+func (a *Agent) OpenLog(name string, groupCommit int) *AppendLog {
+	fd, err := a.OS.Open(name)
+	if err != nil {
+		if fd, err = a.OS.Creat(name); err != nil {
+			panic(err)
+		}
+	}
+	a.OS.Lseek(fd, 0, 2)
+	return &AppendLog{fd: fd, group: groupCommit}
+}
+
+// Append writes a record; returns true when this append triggered a
+// group-commit fsync.
+func (l *AppendLog) Append(a *Agent, rec []byte) bool {
+	if _, err := a.OS.Write(l.fd, rec, 0, 0); err != nil {
+		panic(err)
+	}
+	l.count++
+	if l.group > 0 && l.count%l.group == 0 {
+		a.OS.Fsync(l.fd)
+		return true
+	}
+	return false
+}
+
+// Close detaches the agent (does not flush; callers fsync what they need).
+func (a *Agent) Close() {
+	for _, fd := range a.fds {
+		a.OS.Close(fd)
+	}
+}

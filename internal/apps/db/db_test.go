@@ -1,0 +1,226 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+
+	"compass/internal/frontend"
+	"compass/internal/machine"
+)
+
+func build(poolPages, rows int) (*machine.Machine, *Catalog, *Table) {
+	m := machine.New(machine.Default())
+	cat := NewCatalog(0xD3, poolPages)
+	t := cat.AddTable("t", "t.dat", 64, rows)
+	data := make([]byte, t.Pages()*PageBytes)
+	for i := 0; i < rows; i++ {
+		page, off := t.PageOf(i)
+		copy(data[page*PageBytes+off:], EncodeRow(64, uint32(i), uint32(i*3)))
+	}
+	m.FS.SetupCreate("t.dat", data)
+	Setup(cat)
+	return m, cat, t
+}
+
+func TestTableGeometry(t *testing.T) {
+	tab := &Table{Name: "x", RowSize: 64, Rows: 130}
+	if tab.RowsPerPage() != 64 {
+		t.Errorf("rows/page = %d", tab.RowsPerPage())
+	}
+	if tab.Pages() != 3 {
+		t.Errorf("pages = %d", tab.Pages())
+	}
+	p, off := tab.PageOf(65)
+	if p != 1 || off != 64 {
+		t.Errorf("PageOf(65) = %d,%d", p, off)
+	}
+}
+
+func TestRowCodec(t *testing.T) {
+	row := EncodeRow(64, 1, 2, 0xDEADBEEF)
+	if Field(row, 0) != 1 || Field(row, 2) != 0xDEADBEEF {
+		t.Error("codec mismatch")
+	}
+	SetField(row, 1, 42)
+	if Field(row, 1) != 42 {
+		t.Error("SetField lost")
+	}
+}
+
+func TestFetchReadsRealData(t *testing.T) {
+	m, cat, tab := build(8, 500)
+	var got uint32
+	m.SpawnConnected("a", func(p *frontend.Proc) {
+		a := NewAgent(p, cat)
+		row := a.FetchRow(tab, 123)
+		got = Field(row, 1)
+		a.Close()
+	})
+	m.Sim.Run()
+	if got != 123*3 {
+		t.Errorf("row 123 field1 = %d, want %d", got, 369)
+	}
+}
+
+func TestUpdateVisibleAcrossAgents(t *testing.T) {
+	m, cat, tab := build(8, 500)
+	var seen uint32
+	m.SpawnConnected("writer", func(p *frontend.Proc) {
+		a := NewAgent(p, cat)
+		lk := a.Lock(4)
+		lk.Lock(p)
+		row := a.FetchRow(tab, 7)
+		SetField(row, 1, 9999)
+		a.UpdateRow(tab, 7, row)
+		lk.Unlock(p)
+		a.Close()
+	})
+	m.SpawnConnected("reader", func(p *frontend.Proc) {
+		a := NewAgent(p, cat)
+		lk := a.Lock(4)
+		for {
+			lk.Lock(p)
+			row := a.FetchRow(tab, 7)
+			v := Field(row, 1)
+			lk.Unlock(p)
+			if v == 9999 {
+				seen = v
+				break
+			}
+			p.ComputeCycles(2000)
+			p.Yield()
+		}
+		a.Close()
+	})
+	m.Sim.Run()
+	if seen != 9999 {
+		t.Errorf("reader saw %d", seen)
+	}
+}
+
+func TestPoolEvictionPreservesUpdates(t *testing.T) {
+	// Pool of 4 pages, table of 40 pages: every row revisit crosses an
+	// eviction + reload, so updates must survive write-back.
+	m, cat, tab := build(4, 40*64)
+	m.SpawnConnected("a", func(p *frontend.Proc) {
+		a := NewAgent(p, cat)
+		// Update one row per page.
+		for pg := 0; pg < 40; pg++ {
+			row := a.FetchRow(tab, pg*64)
+			SetField(row, 1, uint32(pg+1000))
+			a.UpdateRow(tab, pg*64, row)
+		}
+		// Re-read after the pool has churned through everything.
+		for pg := 0; pg < 40; pg++ {
+			row := a.FetchRow(tab, pg*64)
+			if Field(row, 1) != uint32(pg+1000) {
+				t.Errorf("page %d update lost: %d", pg, Field(row, 1))
+				break
+			}
+		}
+		a.Close()
+	})
+	m.Sim.Run()
+	hits, misses := Stats(cat)
+	if misses < 40 {
+		t.Errorf("misses = %d, want >= 40 (pool must churn)", misses)
+	}
+	_ = hits
+}
+
+func TestLockWordBounds(t *testing.T) {
+	m, cat, _ := build(4, 64)
+	m.SpawnConnected("a", func(p *frontend.Proc) {
+		a := NewAgent(p, cat)
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range lock word did not panic")
+			}
+			a.Close()
+		}()
+		a.LockWord(0) // reserved for the pool latch
+	})
+	m.Sim.Run()
+}
+
+func TestAppendLogGroupCommit(t *testing.T) {
+	m, cat, _ := build(4, 64)
+	m.FS.SetupCreate("wal", nil)
+	fsyncs := 0
+	m.SpawnConnected("a", func(p *frontend.Proc) {
+		a := NewAgent(p, cat)
+		log := a.OpenLog("wal", 3)
+		for i := 0; i < 10; i++ {
+			if log.Append(a, EncodeRow(64, uint32(i))) {
+				fsyncs++
+			}
+		}
+		a.Close()
+	})
+	m.Sim.Run()
+	if fsyncs != 3 { // appends 3, 6, 9
+		t.Errorf("group commits = %d, want 3", fsyncs)
+	}
+	if m.Disk.Writes == 0 {
+		t.Error("log never hit the disk")
+	}
+}
+
+func TestAgentWithoutSetupPanics(t *testing.T) {
+	m := machine.New(machine.Default())
+	cat := NewCatalog(0xD4, 4)
+	cat.AddTable("t", "t2.dat", 64, 64)
+	m.FS.SetupCreate("t2.dat", make([]byte, PageBytes))
+	// no db.Setup(cat)
+	m.SpawnConnected("a", func(p *frontend.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewAgent without Setup did not panic")
+			}
+		}()
+		NewAgent(p, cat)
+	})
+	m.Sim.Run()
+}
+
+func TestConcurrentPointUpdatesUnderLocks(t *testing.T) {
+	m, cat, tab := build(8, 640)
+	const procs, iters = 4, 25
+	for i := 0; i < procs; i++ {
+		m.SpawnConnected(fmt.Sprintf("a%d", i), func(p *frontend.Proc) {
+			a := NewAgent(p, cat)
+			lk := a.Lock(5)
+			for j := 0; j < iters; j++ {
+				lk.Lock(p)
+				row := a.FetchRow(tab, 11)
+				SetField(row, 2, Field(row, 2)+1)
+				a.UpdateRow(tab, 11, row)
+				lk.Unlock(p)
+			}
+			a.Close()
+		})
+	}
+	var final uint32
+	mv := m
+	_ = mv
+	m.SpawnConnected("check", func(p *frontend.Proc) {
+		a := NewAgent(p, cat)
+		lk := a.Lock(5)
+		for {
+			lk.Lock(p)
+			row := a.FetchRow(tab, 11)
+			final = Field(row, 2)
+			lk.Unlock(p)
+			if final >= procs*iters {
+				break
+			}
+			p.ComputeCycles(5000)
+			p.Yield()
+		}
+		a.Close()
+	})
+	m.Sim.Run()
+	if final != procs*iters {
+		t.Errorf("counter row = %d, want %d (lost update)", final, procs*iters)
+	}
+}

@@ -1,0 +1,155 @@
+// Package httpd is a from-scratch pre-forking web server standing in for
+// Apache (§4.2): worker processes share a listening socket, block in
+// naccept, parse real HTTP/1.0 request text, stat and open the requested
+// file, and stream it back with read+send loops — the kwritev / kreadv /
+// select / statx / open / close / naccept / send profile of Table 1's
+// SPECWeb row.
+package httpd
+
+import (
+	"fmt"
+	"strings"
+
+	"compass/internal/frontend"
+	"compass/internal/isa"
+	"compass/internal/osserver"
+)
+
+// Config shapes the server.
+type Config struct {
+	Port    int
+	Workers int
+	// LogFile, when non-empty, receives an access-log line per request
+	// (adds the fs write path like Apache's access_log).
+	LogFile string
+}
+
+// DefaultConfig serves on port 80 with 4 pre-forked workers.
+func DefaultConfig() Config {
+	return Config{Port: 80, Workers: 4, LogFile: "access.log"}
+}
+
+// QuitPath is the magic request that shuts a worker down (the trace player
+// sends one per worker when the trace is exhausted).
+const QuitPath = "/quit"
+
+// Stats is filled per worker.
+type Stats struct {
+	Served    uint64
+	BytesSent uint64
+	NotFound  uint64
+}
+
+// Worker runs one pre-forked server process body. Every worker listens on
+// the same port: the first to arrive binds it, the rest attach (the
+// pre-fork inherited-socket model).
+func Worker(p *frontend.Proc, cfg Config, st *Stats) {
+	os := osserver.For(p)
+	lfd, err := os.Listen(cfg.Port)
+	if err != nil {
+		if lfd, err = os.AttachListener(cfg.Port); err != nil {
+			panic(fmt.Sprintf("httpd: listen: %v", err))
+		}
+	}
+	logFD := -1
+	if cfg.LogFile != "" {
+		if logFD, err = os.Open(cfg.LogFile); err != nil {
+			if logFD, err = os.Creat(cfg.LogFile); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	for {
+		// select + naccept, like Apache's accept loop.
+		if _, err := os.Select(lfd); err != nil {
+			panic(err)
+		}
+		cfd, err := os.Naccept(lfd)
+		if err != nil {
+			panic(err)
+		}
+		path := readRequest(p, os, cfd)
+		if path == QuitPath {
+			os.Send(cfd, []byte("HTTP/1.0 200 OK\r\n\r\nbye"), 0)
+			os.Close(cfd)
+			break
+		}
+		serveFile(p, os, cfd, path, st)
+		if logFD >= 0 {
+			p.Compute(isa.InstrMix{Int: 900, Branch: 150}) // log-line formatting
+			line := fmt.Sprintf("GET %s 200\n", path)
+			os.Write(logFD, []byte(line), 0, 0)
+		}
+		os.Close(cfd)
+	}
+	if logFD >= 0 {
+		os.Close(logFD)
+	}
+}
+
+// readRequest receives until the blank line and parses the request path,
+// charging user-mode parse work per byte (Apache's request parsing).
+func readRequest(p *frontend.Proc, os *osserver.OSThread, cfd int) string {
+	var req []byte
+	for {
+		seg, err := os.Recv(cfd, 0)
+		if err != nil {
+			panic(err)
+		}
+		if seg == nil {
+			return QuitPath // peer vanished; treat as shutdown
+		}
+		req = append(req, seg...)
+		if strings.Contains(string(req), "\r\n\r\n") {
+			break
+		}
+	}
+	p.Compute(isa.InstrMix{Int: 4000 + uint64(40*len(req)), Branch: 800 + uint64(4*len(req)), IntMul: 60})
+	line := string(req)
+	if i := strings.Index(line, "\r\n"); i >= 0 {
+		line = line[:i]
+	}
+	parts := strings.Fields(line)
+	if len(parts) < 2 || parts[0] != "GET" {
+		return QuitPath
+	}
+	return parts[1]
+}
+
+// serveFile stats, opens and streams the file in 4 KB read+send chunks.
+func serveFile(p *frontend.Proc, os *osserver.OSThread, cfd int, path string, st *Stats) {
+	name := strings.TrimPrefix(path, "/")
+	size, err := os.Statx(name)
+	if err != nil {
+		st.NotFound++
+		os.Send(cfd, []byte("HTTP/1.0 404 Not Found\r\n\r\n"), 0)
+		return
+	}
+	fd, err := os.Open(name)
+	if err != nil {
+		st.NotFound++
+		os.Send(cfd, []byte("HTTP/1.0 404 Not Found\r\n\r\n"), 0)
+		return
+	}
+	header := fmt.Sprintf("HTTP/1.0 200 OK\r\nContent-Length: %d\r\n\r\n", size)
+	p.Compute(isa.InstrMix{Int: 1800, Branch: 300})
+	os.Send(cfd, []byte(header), 0)
+	sent := 0
+	buf := make([]byte, 4096)
+	for int64(sent) < size {
+		chunk := 4096
+		if int64(sent+chunk) > size {
+			chunk = int(size) - sent
+		}
+		n, err := os.Read(fd, buf[:chunk], chunk, 0)
+		if err != nil || n == 0 {
+			break
+		}
+		os.Send(cfd, buf[:n], 0)
+		sent += n
+	}
+	os.Close(fd)
+	st.Served++
+	st.BytesSent += uint64(sent)
+}

@@ -1,0 +1,203 @@
+// Package tier3 is a dynamic-content web stack: pre-forked web workers
+// accept HTTP requests from the trace player, open loopback connections to
+// a database tier (the connect/send/recv path of the paper's SPECWeb
+// kernel profile), run a point query against the shared buffer pool, and
+// render the result into the HTTP response. It composes every category-1
+// service the paper models — TCP/IP stack, file system, shared memory —
+// in one workload, the "commercial server" its introduction motivates.
+package tier3
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"compass/internal/apps/db"
+	"compass/internal/frontend"
+	"compass/internal/fs"
+	"compass/internal/isa"
+	"compass/internal/osserver"
+)
+
+// Config scales the stack.
+type Config struct {
+	// Rows in the item table.
+	Rows int
+	// WebWorkers and DBWorkers are the process counts per tier.
+	WebWorkers, DBWorkers int
+	// DBPort is the database tier's listen port.
+	DBPort int
+	// WebPort is the HTTP port.
+	WebPort int
+	// PoolPages sizes the database buffer pool.
+	PoolPages int
+}
+
+// DefaultConfig is a small 2+2 deployment.
+func DefaultConfig() Config {
+	return Config{Rows: 2048, WebWorkers: 2, DBWorkers: 2, DBPort: 5432, WebPort: 80, PoolPages: 24}
+}
+
+const rowSize = 64
+
+// Workload is a built three-tier instance.
+type Workload struct {
+	Cfg   Config
+	Cat   *db.Catalog
+	items *db.Table
+
+	// oracle values for response validation.
+	vals []uint32
+}
+
+// Setup creates the item table (pre-Run).
+func Setup(filesys *fs.FS, cfg Config) *Workload {
+	w := &Workload{Cfg: cfg, Cat: db.NewCatalog(0x3713, cfg.PoolPages)}
+	w.items = w.Cat.AddTable("items", "tier3.items", rowSize, cfg.Rows)
+	w.vals = make([]uint32, cfg.Rows)
+	data := make([]byte, w.items.Pages()*db.PageBytes)
+	for i := 0; i < cfg.Rows; i++ {
+		v := uint32(i*2654435761 + 12345)
+		w.vals[i] = v
+		page, off := w.items.PageOf(i)
+		copy(data[page*db.PageBytes+off:], db.EncodeRow(rowSize, uint32(i), v))
+	}
+	filesys.SetupCreate(w.items.File, data)
+	db.Setup(w.Cat)
+	return w
+}
+
+// OracleValue returns the generated value for a key (tests).
+func (w *Workload) OracleValue(key int) uint32 { return w.vals[key] }
+
+// DBWorker is the database tier process body: accept loopback connections
+// from web workers, serve "GET <key>" point queries until EOF.
+func (w *Workload) DBWorker(p *frontend.Proc) {
+	os := osserver.For(p)
+	a := db.NewAgent(p, w.Cat)
+	var lfd int
+	var err error
+	if lfd, err = os.Listen(w.Cfg.DBPort); err != nil {
+		if lfd, err = os.AttachListener(w.Cfg.DBPort); err != nil {
+			panic(err)
+		}
+	}
+	for {
+		cfd, err := os.Naccept(lfd)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			seg, err := os.Recv(cfd, 0)
+			if err != nil {
+				panic(err)
+			}
+			if seg == nil {
+				break
+			}
+			req := string(seg)
+			p.Compute(isa.InstrMix{Int: 500 + uint64(10*len(req)), Branch: 100})
+			if req == "QUIT" {
+				os.Send(cfd, []byte("BYE"), 0)
+				os.Close(cfd)
+				a.Close()
+				return
+			}
+			key, _ := strconv.Atoi(strings.TrimPrefix(req, "GET "))
+			if key < 0 || key >= w.items.Rows {
+				os.Send(cfd, []byte("ERR"), 0)
+				continue
+			}
+			row := a.FetchRow(w.items, key)
+			p.Compute(isa.InstrMix{Int: 2000, IntMul: 30, Branch: 300}) // plan + format
+			os.Send(cfd, []byte(fmt.Sprintf("VAL %d", db.Field(row, 1))), 0)
+		}
+		os.Close(cfd)
+	}
+}
+
+// WebWorker is the web tier process body: accept client connections from
+// the trace player, translate /dyn/<key> requests into database queries
+// over a per-worker persistent loopback connection, render the response.
+// A "/quit" request shuts the worker down (and its DB connection).
+func (w *Workload) WebWorker(p *frontend.Proc, st *Stats) {
+	os := osserver.For(p)
+	var lfd int
+	var err error
+	if lfd, err = os.Listen(w.Cfg.WebPort); err != nil {
+		if lfd, err = os.AttachListener(w.Cfg.WebPort); err != nil {
+			panic(err)
+		}
+	}
+	// Persistent DB connection (connection pooling, like a real app tier).
+	var dbfd int
+	for {
+		if dbfd, err = os.Connect(w.Cfg.DBPort); err == nil {
+			break
+		}
+		p.ComputeCycles(20_000)
+		p.Yield()
+	}
+
+	for {
+		cfd, err := os.Naccept(lfd)
+		if err != nil {
+			panic(err)
+		}
+		path := readRequest(p, os, cfd)
+		if path == "/quit" {
+			os.Send(cfd, []byte("HTTP/1.0 200 OK\r\n\r\nbye"), 0)
+			os.Close(cfd)
+			break
+		}
+		key, _ := strconv.Atoi(strings.TrimPrefix(path, "/dyn/"))
+		os.Send(dbfd, []byte(fmt.Sprintf("GET %d", key)), 0)
+		reply, err := os.Recv(dbfd, 0)
+		if err != nil || reply == nil {
+			panic(fmt.Sprintf("tier3: db connection lost: %v", err))
+		}
+		// Render the page (template expansion: user compute).
+		p.Compute(isa.InstrMix{Int: 6000, Branch: 900, IntMul: 80})
+		body := fmt.Sprintf("<html>key %d -> %s</html>", key, reply)
+		resp := fmt.Sprintf("HTTP/1.0 200 OK\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+		os.Send(cfd, []byte(resp), 0)
+		os.Close(cfd)
+		st.Served++
+		if strings.HasPrefix(string(reply), "VAL ") {
+			st.OK++
+		}
+	}
+	// Tear down the DB connection so the DB worker unblocks.
+	os.Send(dbfd, []byte("QUIT"), 0)
+	os.Recv(dbfd, 0)
+	os.Close(dbfd)
+}
+
+// Stats counts one web worker's activity.
+type Stats struct {
+	Served uint64
+	OK     uint64
+}
+
+func readRequest(p *frontend.Proc, os *osserver.OSThread, cfd int) string {
+	var req []byte
+	for {
+		seg, err := os.Recv(cfd, 0)
+		if err != nil {
+			panic(err)
+		}
+		if seg == nil {
+			return "/quit"
+		}
+		req = append(req, seg...)
+		if strings.Contains(string(req), "\r\n\r\n") {
+			break
+		}
+	}
+	p.Compute(isa.InstrMix{Int: uint64(30 * len(req)), Branch: uint64(3 * len(req))})
+	parts := strings.Fields(string(req))
+	if len(parts) < 2 {
+		return "/quit"
+	}
+	return parts[1]
+}

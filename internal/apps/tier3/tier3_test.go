@@ -1,0 +1,121 @@
+package tier3
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"compass/internal/frontend"
+	"compass/internal/machine"
+	"compass/internal/stats"
+	"compass/internal/trace"
+)
+
+func runStack(t *testing.T, cfg Config, requests int) (*machine.Machine, *Workload, *trace.Player, []Stats) {
+	t.Helper()
+	m := machine.New(machine.Default())
+	w := Setup(m.FS, cfg)
+	st := make([]Stats, cfg.WebWorkers)
+	for i := 0; i < cfg.DBWorkers; i++ {
+		m.SpawnConnected(fmt.Sprintf("db%d", i), func(p *frontend.Proc) {
+			w.DBWorker(p)
+		})
+	}
+	for i := 0; i < cfg.WebWorkers; i++ {
+		i := i
+		m.SpawnConnected(fmt.Sprintf("web%d", i), func(p *frontend.Proc) {
+			w.WebWorker(p, &st[i])
+		})
+	}
+	rng := rand.New(rand.NewSource(99))
+	reqs := make(trace.Trace, requests)
+	for i := range reqs {
+		key := rng.Intn(cfg.Rows)
+		body := fmt.Sprintf("<html>key %d -> VAL %d</html>", key, w.OracleValue(key))
+		reqs[i] = trace.Request{Path: fmt.Sprintf("/dyn/%d", key), Size: len(body)}
+	}
+	player := trace.NewPlayer(m.Sim, m.NIC, reqs, trace.PlayerConfig{
+		Concurrency: cfg.WebWorkers,
+		ThinkCycles: 30_000,
+		Workers:     cfg.WebWorkers,
+		Port:        cfg.WebPort,
+	})
+	player.Start()
+	m.Sim.Run()
+	return m, w, player, st
+}
+
+func TestThreeTierServesCorrectValues(t *testing.T) {
+	cfg := DefaultConfig()
+	m, _, player, st := runStack(t, cfg, 40)
+	if player.Completed != 40 {
+		t.Fatalf("completed %d/40", player.Completed)
+	}
+	// BadBytes==0 means every response body matched the oracle-computed
+	// expected size — which encodes the oracle VALUE, so a wrong query
+	// result would change the length and be counted.
+	if player.BadBytes != 0 {
+		t.Errorf("%d responses with wrong bodies", player.BadBytes)
+	}
+	var ok, served uint64
+	for _, s := range st {
+		ok += s.OK
+		served += s.Served
+	}
+	if served != 40 || ok != 40 {
+		t.Errorf("served=%d ok=%d", served, ok)
+	}
+	if m.Sim.Counters().Get("smp.loads") == 0 && m.Sim.Counters().Get("simple.loads") == 0 {
+		t.Error("no memory traffic")
+	}
+}
+
+func TestThreeTierProfile(t *testing.T) {
+	cfg := DefaultConfig()
+	m, _, _, _ := runStack(t, cfg, 60)
+	total := m.Sim.TotalAccount()
+	p := stats.ProfileOf("tier3", &total)
+	t.Logf("three-tier profile: %s", p)
+	// A dynamic-content stack sits between static SPECWeb (85% OS) and
+	// pure OLTP (21% OS).
+	if p.OSPct < 25 || p.OSPct > 95 {
+		t.Errorf("OS share %.1f%% implausible for a dynamic web stack", p.OSPct)
+	}
+}
+
+func TestThreeTierDeterministic(t *testing.T) {
+	run := func() uint64 {
+		cfg := DefaultConfig()
+		cfg.Rows = 512
+		m, _, _, _ := runStack(t, cfg, 15)
+		total := m.Sim.TotalAccount()
+		return total.Total()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestBadKeyGetsErr(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WebWorkers, cfg.DBWorkers = 1, 1
+	m := machine.New(machine.Default())
+	w := Setup(m.FS, cfg)
+	var st Stats
+	m.SpawnConnected("db", func(p *frontend.Proc) { w.DBWorker(p) })
+	m.SpawnConnected("web", func(p *frontend.Proc) { w.WebWorker(p, &st) })
+	body := "<html>key 999999 -> ERR</html>"
+	reqs := trace.Trace{{Path: "/dyn/999999", Size: len(body)}}
+	player := trace.NewPlayer(m.Sim, m.NIC, reqs, trace.PlayerConfig{
+		Concurrency: 1, Workers: 1, Port: cfg.WebPort,
+	})
+	player.Start()
+	m.Sim.Run()
+	if st.Served != 1 || st.OK != 0 {
+		t.Errorf("served=%d ok=%d, want 1/0", st.Served, st.OK)
+	}
+	if !strings.Contains(body, "ERR") {
+		t.Fatal("test self-check")
+	}
+}

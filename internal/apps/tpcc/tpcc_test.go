@@ -1,0 +1,117 @@
+package tpcc
+
+import (
+	"fmt"
+	"testing"
+
+	"compass/internal/apps/db"
+	"compass/internal/frontend"
+	"compass/internal/machine"
+	"compass/internal/osserver"
+	"compass/internal/simsync"
+	"compass/internal/stats"
+)
+
+func runTPCC(t *testing.T, cfg Config, mcfg machine.Config) (*machine.Machine, *Workload) {
+	t.Helper()
+	m := machine.New(mcfg)
+	w := Setup(m.FS, cfg)
+	for i := 0; i < cfg.Agents; i++ {
+		i := i
+		m.SpawnConnected(fmt.Sprintf("agent%d", i), func(p *frontend.Proc) {
+			w.Agent(p, i)
+		})
+	}
+	m.Sim.Run()
+	return m, w
+}
+
+func TestTPCCOrdersConsistent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Agents = 3
+	cfg.TxPerAgent = 12
+	m := machine.New(machine.Default())
+	w := Setup(m.FS, cfg)
+	var verifyErr error
+	verified := false
+	for i := 0; i < cfg.Agents; i++ {
+		i := i
+		m.SpawnConnected(fmt.Sprintf("agent%d", i), func(p *frontend.Proc) {
+			w.Agent(p, i)
+			// The last finisher (decided by a simulated shared counter, so
+			// there is no host-level race) verifies inside the simulation.
+			os := osserver.For(p)
+			segID, _ := os.ShmGet(w.Cat.ShmKey, w.Cat.SegmentBytes())
+			base, _ := os.ShmAt(segID)
+			finished := &simsync.Counter{Addr: base + 4*40}
+			if finished.Add(p, 1)+1 == uint64(cfg.Agents) {
+				verifyErr = w.VerifyOrders(p)
+				verified = true
+			}
+		})
+	}
+	m.Sim.Run()
+	if !verified {
+		t.Fatal("verification never ran")
+	}
+	if verifyErr != nil {
+		t.Fatal(verifyErr)
+	}
+	hits, misses := db.Stats(w.Cat)
+	if hits == 0 || misses == 0 {
+		t.Errorf("buffer pool hits=%d misses=%d — expected both", hits, misses)
+	}
+}
+
+func TestTPCCProfileShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Agents = 4
+	cfg.TxPerAgent = 20
+	m, _ := runTPCC(t, cfg, machine.Default())
+	total := m.Sim.TotalAccount()
+	p := stats.ProfileOf("TPCC", &total)
+	t.Logf("TPCC profile: %s", p)
+	if p.OSPct < 10 || p.OSPct > 50 {
+		t.Errorf("TPCC OS share %.1f%% out of plausible range (paper: ~21%%)", p.OSPct)
+	}
+	if p.UserPct < 50 {
+		t.Errorf("TPCC user share %.1f%% too low (paper: ~79%%)", p.UserPct)
+	}
+	// Paper shape: interrupt-handler time (disk + interval timer, 14.6%)
+	// exceeds kernel-call time (6.4%).
+	if p.InterruptPct < p.KernelPct*0.8 {
+		t.Errorf("interrupt %.1f%% should be comparable to or above kernel %.1f%%",
+			p.InterruptPct, p.KernelPct)
+	}
+	if m.Disk.Writes == 0 {
+		t.Error("log group-commit never hit the disk")
+	}
+}
+
+func TestTPCCDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		cfg := DefaultConfig()
+		cfg.Agents = 3
+		cfg.TxPerAgent = 8
+		m, _ := runTPCC(t, cfg, machine.Default())
+		total := m.Sim.TotalAccount()
+		return total.Total(), m.Disk.Reads + m.Disk.Writes
+	}
+	a1, d1 := run()
+	a2, d2 := run()
+	if a1 != a2 || d1 != d2 {
+		t.Errorf("nondeterministic: cycles %d/%d disk %d/%d", a1, a2, d1, d2)
+	}
+}
+
+func TestTPCCSchedulerOversubscription(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Agents = 6 // 6 agents on 2 CPUs
+	cfg.TxPerAgent = 6
+	mcfg := machine.Default()
+	mcfg.CPUs = 2
+	m, _ := runTPCC(t, cfg, mcfg)
+	if m.Sim.Counters().Get("sched.blocks") == 0 && m.Sim.Counters().Get("sched.ctxswitches") == 0 {
+		t.Error("no scheduling activity despite oversubscription")
+	}
+}

@@ -1,0 +1,254 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"compass/internal/mem"
+)
+
+func small() *Cache {
+	return New(Config{Size: 1024, LineSize: 32, Assoc: 2, Latency: 1}) // 16 sets
+}
+
+func TestConfigCheck(t *testing.T) {
+	bad := []Config{
+		{Size: 1024, LineSize: 33, Assoc: 2}, // line not pow2
+		{Size: 1024, LineSize: 32, Assoc: 0}, // zero assoc
+		{Size: 1000, LineSize: 32, Assoc: 2}, // sets not pow2
+		{Size: 16, LineSize: 32, Assoc: 2},   // zero sets
+	}
+	for i, cfg := range bad {
+		if err := cfg.Check(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	good := Config{Size: 1024, LineSize: 32, Assoc: 2}
+	if err := good.Check(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted bad config")
+		}
+	}()
+	New(Config{Size: 100, LineSize: 7, Assoc: 1})
+}
+
+func TestMissFillHit(t *testing.T) {
+	c := small()
+	pa := mem.PhysAddr(0x1040)
+	if st, hit := c.Access(pa, false); hit || st != Invalid {
+		t.Fatalf("cold access hit: %v %v", st, hit)
+	}
+	v := c.Fill(pa, Exclusive)
+	if v.Valid {
+		t.Fatal("fill into empty set evicted")
+	}
+	if st, hit := c.Access(pa, false); !hit || st != Exclusive {
+		t.Fatalf("after fill: %v %v", st, hit)
+	}
+	// Same line, different offset, still hits.
+	if _, hit := c.Access(pa+31, false); !hit {
+		t.Fatal("same-line offset missed")
+	}
+	// Next line misses.
+	if _, hit := c.Access(pa+32, false); hit {
+		t.Fatal("adjacent line hit")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestWriteHitPromotesExclusive(t *testing.T) {
+	c := small()
+	pa := mem.PhysAddr(0x40)
+	c.Fill(pa, Exclusive)
+	if st, _ := c.Access(pa, true); st != Exclusive {
+		t.Fatalf("state before write = %v", st)
+	}
+	if got := c.Lookup(pa); got != Modified {
+		t.Fatalf("E not promoted to M on write: %v", got)
+	}
+}
+
+func TestWriteHitSharedReportsShared(t *testing.T) {
+	c := small()
+	pa := mem.PhysAddr(0x40)
+	c.Fill(pa, Shared)
+	st, hit := c.Access(pa, true)
+	if !hit || st != Shared {
+		t.Fatalf("shared write: st=%v hit=%v", st, hit)
+	}
+	// Still shared until protocol calls Upgrade.
+	if c.Lookup(pa) != Shared {
+		t.Fatal("shared line silently promoted")
+	}
+	c.Upgrade(pa)
+	if c.Lookup(pa) != Modified {
+		t.Fatal("Upgrade failed")
+	}
+}
+
+func TestUpgradeAbsentPanics(t *testing.T) {
+	c := small()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Upgrade of absent line did not panic")
+		}
+	}()
+	c.Upgrade(0x40)
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 2-way, 16 sets, 32B lines: set stride is 512B
+	base := mem.PhysAddr(0)
+	a, b, d := base, base+512, base+1024 // all map to set 0
+	c.Fill(a, Exclusive)
+	c.Fill(b, Exclusive)
+	c.Access(a, false) // a is now MRU
+	v := c.Fill(d, Exclusive)
+	if !v.Valid || v.Addr != b {
+		t.Fatalf("victim = %+v, want b=%#x", v, uint64(b))
+	}
+	if c.Lookup(a) == Invalid || c.Lookup(d) == Invalid {
+		t.Fatal("wrong lines evicted")
+	}
+	if c.Lookup(b) != Invalid {
+		t.Fatal("b still present")
+	}
+}
+
+func TestDirtyVictimWriteback(t *testing.T) {
+	c := small()
+	a, b, d := mem.PhysAddr(0), mem.PhysAddr(512), mem.PhysAddr(1024)
+	c.Fill(a, Modified)
+	c.Fill(b, Exclusive)
+	c.Access(b, false)
+	v := c.Fill(d, Exclusive) // evicts a (LRU), which is dirty
+	if !v.Dirty || v.Addr != a {
+		t.Fatalf("dirty victim = %+v", v)
+	}
+	if c.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Writebacks)
+	}
+}
+
+func TestProbe(t *testing.T) {
+	c := small()
+	pa := mem.PhysAddr(0x80)
+	c.Fill(pa, Modified)
+	if prev := c.Probe(pa, false); prev != Modified {
+		t.Fatalf("downgrade probe found %v", prev)
+	}
+	if c.Lookup(pa) != Shared {
+		t.Fatal("downgrade did not leave Shared")
+	}
+	if prev := c.Probe(pa, true); prev != Shared {
+		t.Fatalf("invalidate probe found %v", prev)
+	}
+	if c.Lookup(pa) != Invalid {
+		t.Fatal("invalidate did not leave Invalid")
+	}
+	if prev := c.Probe(0xFF000, true); prev != Invalid {
+		t.Fatalf("probe of absent line found %v", prev)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small()
+	c.Fill(0x0, Modified)
+	c.Fill(0x20, Shared)
+	c.Fill(0x40, Modified)
+	dirty := c.Flush()
+	if len(dirty) != 2 {
+		t.Fatalf("flush returned %d dirty lines, want 2", len(dirty))
+	}
+	if c.Occupancy() != 0 {
+		t.Fatal("cache not empty after flush")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Modified.String() != "M" || Shared.String() != "S" || Exclusive.String() != "E" {
+		t.Error("MESI names wrong")
+	}
+}
+
+// Property: occupancy never exceeds capacity, and a fill always makes the
+// filled line present.
+func TestQuickFillInvariant(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := small()
+		capacity := 1024 / 32
+		for i := 0; i < int(n); i++ {
+			pa := mem.PhysAddr(rng.Intn(1 << 16))
+			pa = c.LineAddr(pa)
+			if _, hit := c.Access(pa, rng.Intn(2) == 0); !hit {
+				c.Fill(pa, Exclusive)
+			}
+			if c.Lookup(pa) == Invalid {
+				return false
+			}
+			if c.Occupancy() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the cache is a function of its access history — replaying the
+// same sequence gives identical hit/miss counters (determinism).
+func TestQuickDeterministicReplay(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		run := func() (uint64, uint64) {
+			c := small()
+			for _, a := range addrs {
+				pa := mem.PhysAddr(a)
+				if _, hit := c.Access(pa, false); !hit {
+					c.Fill(pa, Shared)
+				}
+			}
+			return c.Hits, c.Misses
+		}
+		h1, m1 := run()
+		h2, m2 := run()
+		return h1 == h2 && m1 == m2 && h1+m1 == uint64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a working set smaller than one way per set, nothing is
+// ever evicted (LRU never thrashes a fitting working set).
+func TestQuickNoEvictionWhenFits(t *testing.T) {
+	f := func(rounds uint8) bool {
+		c := small() // 16 sets × 2 ways
+		// One line per set: 16 lines, fits trivially.
+		for r := 0; r < int(rounds%8)+2; r++ {
+			for set := 0; set < 16; set++ {
+				pa := mem.PhysAddr(set * 32)
+				if _, hit := c.Access(pa, false); !hit {
+					if v := c.Fill(pa, Shared); v.Valid {
+						return false
+					}
+				}
+			}
+		}
+		return c.Evictions == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,324 @@
+// Package coma models a Cache-Only Memory Architecture target: each node's
+// local memory is an "attraction memory" (AM) — a giant set-associative
+// cache with no fixed data homes — so data migrates to the nodes that use
+// it. A flat directory (interleaved by address) tracks which AMs currently
+// hold each line. The paper lists COMA among the shared-memory
+// architectures studied with COMPASS (§5).
+//
+// The model is timing-only: functional data always lives in the backend's
+// physical memory, so AM replacement never loses data — evicting the last
+// copy simply means the next access pays the (home) memory fetch cost,
+// which models master-copy relocation without recursive displacement.
+package coma
+
+import (
+	"fmt"
+
+	"compass/internal/cache"
+	"compass/internal/event"
+	"compass/internal/mem"
+	"compass/internal/noc"
+	"compass/internal/stats"
+)
+
+// Config describes the COMA target.
+type Config struct {
+	Nodes       int
+	CPUsPerNode int
+	L1          cache.Config
+	// AM is the per-node attraction memory geometry (a very large cache).
+	AM        cache.Config
+	AMCycles  event.Cycle // attraction-memory access time
+	DirCycles event.Cycle // flat-directory lookup
+	MemCycles event.Cycle // fetch when no AM holds the line
+	Net       noc.Config
+	CtrlBytes int
+}
+
+// DefaultConfig sizes a small COMA: 32KB L1s and 4MB attraction memories.
+func DefaultConfig(nodes, cpusPerNode int) Config {
+	return Config{
+		Nodes:       nodes,
+		CPUsPerNode: cpusPerNode,
+		L1:          cache.Config{Size: 32 << 10, LineSize: 32, Assoc: 2, Latency: 1},
+		AM:          cache.Config{Size: 4 << 20, LineSize: 64, Assoc: 8, Latency: 0},
+		AMCycles:    25,
+		DirCycles:   6,
+		MemCycles:   60,
+		Net:         noc.DefaultConfig(nodes),
+		CtrlBytes:   16,
+	}
+}
+
+type holderEntry struct {
+	holders uint64 // node bitmask
+	owner   int    // last writer (preferred supplier)
+}
+
+// System is the COMA memory system; it implements memsys.Model.
+type System struct {
+	cfg  Config
+	l1s  []*cache.Cache
+	ams  []*cache.Cache
+	net  *noc.Network
+	dir  map[mem.PhysAddr]*holderEntry
+	memc []*event.Resource
+
+	loads, stores uint64
+	l1Hits        uint64
+	amHits        uint64
+	remoteFetch   uint64
+	coldFetch     uint64
+	invalidations uint64
+}
+
+// New builds the system.
+func New(cfg Config) *System {
+	if cfg.Nodes < 1 || cfg.Nodes > 64 {
+		panic(fmt.Sprintf("coma: %d nodes unsupported", cfg.Nodes))
+	}
+	cfg.Net.Nodes = cfg.Nodes
+	s := &System{cfg: cfg, net: noc.New(cfg.Net), dir: make(map[mem.PhysAddr]*holderEntry)}
+	for i := 0; i < cfg.Nodes*cfg.CPUsPerNode; i++ {
+		s.l1s = append(s.l1s, cache.New(cfg.L1))
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		s.ams = append(s.ams, cache.New(cfg.AM))
+		s.memc = append(s.memc, event.NewResource(fmt.Sprintf("coma.mem%d", n)))
+	}
+	return s
+}
+
+// Name implements memsys.Model.
+func (s *System) Name() string { return "coma" }
+
+// NodeOf returns the node owning a CPU.
+func (s *System) NodeOf(cpu int) int { return cpu / s.cfg.CPUsPerNode }
+
+func (s *System) lineAddr(pa mem.PhysAddr) mem.PhysAddr {
+	return pa &^ mem.PhysAddr(s.cfg.AM.LineSize-1)
+}
+
+func (s *System) homeOf(line mem.PhysAddr) int {
+	return int((uint64(line) >> 6) % uint64(s.cfg.Nodes))
+}
+
+func (s *System) entry(line mem.PhysAddr) *holderEntry {
+	e, ok := s.dir[line]
+	if !ok {
+		e = &holderEntry{owner: -1}
+		s.dir[line] = e
+	}
+	return e
+}
+
+// Access implements memsys.Model.
+func (s *System) Access(now event.Cycle, cpu int, pa mem.PhysAddr, write bool) event.Cycle {
+	if write {
+		s.stores++
+	} else {
+		s.loads++
+	}
+	node := s.NodeOf(cpu)
+	l1 := s.l1s[cpu]
+	t := now + event.Cycle(s.cfg.L1.Latency)
+	if st, hit := l1.Access(pa, write); hit {
+		if !write || st == cache.Modified || st == cache.Exclusive {
+			s.l1Hits++
+			return t
+		}
+	}
+
+	line := s.lineAddr(pa)
+	am := s.ams[node]
+	t += s.cfg.AMCycles
+	e := s.entry(line)
+
+	amState, amHit := am.Access(line, write)
+	switch {
+	case amHit && (!write || amState == cache.Modified || amState == cache.Exclusive):
+		s.amHits++
+	case amHit && write:
+		// Upgrade: invalidate other AM holders via the flat directory.
+		t = s.invalidateOthers(t, e, node, line)
+		am.Upgrade(line)
+		e.holders = 1 << uint(node)
+		e.owner = node
+	default:
+		// AM miss: consult the flat directory at the line's home.
+		home := s.homeOf(line)
+		if home != node {
+			t = s.net.Send(t, node, home, s.cfg.CtrlBytes)
+		}
+		t += s.cfg.DirCycles
+		supplier := s.pickSupplier(e, node)
+		if supplier >= 0 {
+			s.remoteFetch++
+			// Forward to the supplier AM and stream the line back.
+			if supplier != home {
+				t = s.net.Send(t, home, supplier, s.cfg.CtrlBytes)
+			}
+			t += s.cfg.AMCycles
+			t = s.net.Send(t, supplier, node, s.cfg.AM.LineSize+s.cfg.CtrlBytes)
+			if !write {
+				// A read fetch leaves the supplier with a Shared copy.
+				s.ams[supplier].Probe(line, false)
+				for c := supplier * s.cfg.CPUsPerNode; c < (supplier+1)*s.cfg.CPUsPerNode; c++ {
+					for off := 0; off < s.cfg.AM.LineSize; off += s.cfg.L1.LineSize {
+						s.l1s[c].Probe(line+mem.PhysAddr(off), false)
+					}
+				}
+			}
+		} else {
+			// No AM holds it (cold, or last copy was displaced): fetch
+			// from backing memory at the home node.
+			s.coldFetch++
+			t = s.memc[home].Acquire(t, s.cfg.MemCycles)
+			if home != node {
+				t = s.net.Send(t, home, node, s.cfg.AM.LineSize+s.cfg.CtrlBytes)
+			}
+		}
+		st := cache.Shared
+		if write {
+			t = s.invalidateOthers(t, e, node, line)
+			st = cache.Modified
+			e.holders = 0
+			e.owner = node
+		}
+		v := am.Fill(line, st)
+		if v.Valid {
+			s.displace(node, v.Addr)
+		}
+		e.holders |= 1 << uint(node)
+	}
+
+	if write {
+		// Invalidate sibling L1 copies on the same node (the AM is shared
+		// within a node, L1s are per CPU).
+		for c := node * s.cfg.CPUsPerNode; c < (node+1)*s.cfg.CPUsPerNode; c++ {
+			if c == cpu {
+				continue
+			}
+			if s.l1s[c].Probe(pa, true) != cache.Invalid {
+				s.invalidations++
+			}
+		}
+	}
+
+	l1st := cache.Shared
+	if write {
+		l1st = cache.Modified
+	}
+	if cur := l1.Lookup(pa); cur == cache.Invalid {
+		l1.Fill(pa, l1st)
+	} else if write && cur != cache.Modified {
+		l1.Upgrade(pa)
+	}
+	return t
+}
+
+// pickSupplier chooses an AM to supply the line: the last writer if it
+// still holds it, else any holder. Returns -1 when none.
+func (s *System) pickSupplier(e *holderEntry, requester int) int {
+	if e.owner >= 0 && e.owner != requester && e.holders>>uint(e.owner)&1 == 1 {
+		return e.owner
+	}
+	for n := 0; n < s.cfg.Nodes; n++ {
+		if n != requester && e.holders>>uint(n)&1 == 1 {
+			return n
+		}
+	}
+	return -1
+}
+
+// invalidateOthers removes every other node's AM (and its CPUs' L1) copy.
+func (s *System) invalidateOthers(t event.Cycle, e *holderEntry, node int, line mem.PhysAddr) event.Cycle {
+	latest := t
+	for n := 0; n < s.cfg.Nodes; n++ {
+		if n == node || e.holders>>uint(n)&1 == 0 {
+			continue
+		}
+		s.invalidations++
+		ti := s.net.Send(t, node, n, s.cfg.CtrlBytes)
+		s.ams[n].Probe(line, true)
+		for c := n * s.cfg.CPUsPerNode; c < (n+1)*s.cfg.CPUsPerNode; c++ {
+			for off := 0; off < s.cfg.AM.LineSize; off += s.cfg.L1.LineSize {
+				s.l1s[c].Probe(line+mem.PhysAddr(off), true)
+			}
+		}
+		e.holders &^= 1 << uint(n)
+		if ti > latest {
+			latest = ti
+		}
+	}
+	return latest
+}
+
+// displace handles an AM victim: drop the node from the holder set and
+// invalidate the node's L1 copies (the data survives in backing memory).
+func (s *System) displace(node int, victim mem.PhysAddr) {
+	line := s.lineAddr(victim)
+	if e, ok := s.dir[line]; ok {
+		e.holders &^= 1 << uint(node)
+		if e.owner == node {
+			e.owner = -1
+		}
+	}
+	for c := node * s.cfg.CPUsPerNode; c < (node+1)*s.cfg.CPUsPerNode; c++ {
+		for off := 0; off < s.cfg.AM.LineSize; off += s.cfg.L1.LineSize {
+			s.l1s[c].Probe(line+mem.PhysAddr(off), true)
+		}
+	}
+}
+
+// AddCounters implements memsys.Model.
+func (s *System) AddCounters(c *stats.Counters) {
+	c.Inc("coma.loads", s.loads)
+	c.Inc("coma.stores", s.stores)
+	c.Inc("coma.l1.hits", s.l1Hits)
+	c.Inc("coma.am.hits", s.amHits)
+	c.Inc("coma.fetch.remote", s.remoteFetch)
+	c.Inc("coma.fetch.cold", s.coldFetch)
+	c.Inc("coma.invalidations", s.invalidations)
+	c.Inc("coma.net.messages", s.net.Messages)
+	c.Inc("coma.net.bytes", s.net.Bytes)
+}
+
+// Holders returns the AM holder bitmask for the line containing pa
+// (test hook).
+func (s *System) Holders(pa mem.PhysAddr) uint64 {
+	if e, ok := s.dir[s.lineAddr(pa)]; ok {
+		return e.holders
+	}
+	return 0
+}
+
+// CheckInvariant verifies holder-set agreement for the line containing pa:
+// every AM that holds the line is in the directory's holder set, and a
+// Modified AM copy is the only copy.
+func (s *System) CheckInvariant(pa mem.PhysAddr) error {
+	line := s.lineAddr(pa)
+	var actual uint64
+	owners := 0
+	for n := 0; n < s.cfg.Nodes; n++ {
+		st := s.ams[n].Lookup(line)
+		if st == cache.Invalid {
+			continue
+		}
+		actual |= 1 << uint(n)
+		if st == cache.Modified || st == cache.Exclusive {
+			owners++
+		}
+	}
+	e := s.entry(line)
+	if actual&^e.holders != 0 {
+		return fmt.Errorf("coma: AMs %#x hold %#x but directory says %#x", actual, uint64(line), e.holders)
+	}
+	if owners > 1 {
+		return fmt.Errorf("coma: %d owning AMs for %#x", owners, uint64(line))
+	}
+	if owners == 1 && actual&(actual-1) != 0 {
+		return fmt.Errorf("coma: owned line %#x replicated (%#x)", uint64(line), actual)
+	}
+	return nil
+}

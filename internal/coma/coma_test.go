@@ -1,0 +1,165 @@
+package coma
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"compass/internal/event"
+	"compass/internal/mem"
+	"compass/internal/stats"
+)
+
+func sys() *System { return New(DefaultConfig(4, 1)) }
+
+func TestColdFetchThenAttraction(t *testing.T) {
+	s := sys()
+	pa := mem.PhysAddr(0x1000)
+	s.Access(0, 0, pa, false)
+	if s.coldFetch != 1 {
+		t.Fatalf("coldFetch = %d, want 1", s.coldFetch)
+	}
+	if s.Holders(pa) != 1 {
+		t.Fatalf("holders = %#x, want node 0 only", s.Holders(pa))
+	}
+	// L1 was filled too; evict nothing, second access is an L1 hit.
+	before := s.l1Hits
+	s.Access(100, 0, pa, false)
+	if s.l1Hits != before+1 {
+		t.Error("second access not an L1 hit")
+	}
+}
+
+func TestLineMigratesViaRemoteFetch(t *testing.T) {
+	s := sys()
+	pa := mem.PhysAddr(0x2000)
+	now := s.Access(0, 0, pa, false)  // node 0 attracts the line
+	now = s.Access(now, 2, pa, false) // node 2 fetches from node 0's AM
+	if s.remoteFetch != 1 {
+		t.Fatalf("remoteFetch = %d, want 1", s.remoteFetch)
+	}
+	if s.Holders(pa) != (1 | 1<<2) {
+		t.Fatalf("holders = %#x, want nodes 0 and 2", s.Holders(pa))
+	}
+	if err := s.CheckInvariant(pa); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteInvalidatesOtherAMs(t *testing.T) {
+	s := sys()
+	pa := mem.PhysAddr(0x3000)
+	var now event.Cycle
+	for n := 0; n < 4; n++ {
+		now = s.Access(now, n, pa, false)
+	}
+	if s.Holders(pa) != 0xF {
+		t.Fatalf("holders before write = %#x", s.Holders(pa))
+	}
+	now = s.Access(now, 1, pa, true)
+	if s.Holders(pa) != 1<<1 {
+		t.Fatalf("holders after write = %#x, want node 1 only", s.Holders(pa))
+	}
+	if s.invalidations == 0 {
+		t.Error("no invalidations recorded")
+	}
+	if err := s.CheckInvariant(pa); err != nil {
+		t.Error(err)
+	}
+	_ = now
+}
+
+func TestDirtyReadDowngradesSupplier(t *testing.T) {
+	s := sys()
+	pa := mem.PhysAddr(0x4000)
+	now := s.Access(0, 0, pa, true)   // node 0 owns dirty
+	now = s.Access(now, 3, pa, false) // node 3 reads
+	if err := s.CheckInvariant(pa); err != nil {
+		t.Error(err)
+	}
+	if s.Holders(pa) != (1 | 1<<3) {
+		t.Errorf("holders = %#x", s.Holders(pa))
+	}
+	_ = now
+}
+
+func TestSiblingL1Invalidation(t *testing.T) {
+	s := New(DefaultConfig(2, 2)) // 2 nodes × 2 CPUs
+	pa := mem.PhysAddr(0x5000)
+	now := s.Access(0, 0, pa, false)  // CPU0 (node 0) reads
+	now = s.Access(now, 1, pa, false) // CPU1 (node 0) reads: AM hit
+	inv := s.invalidations
+	now = s.Access(now, 0, pa, true) // CPU0 writes: CPU1's L1 must go
+	if s.invalidations <= inv {
+		t.Error("sibling L1 not invalidated")
+	}
+	// CPU1's next read must miss L1 (and hit the AM).
+	l1h := s.l1Hits
+	s.Access(now, 1, pa, false)
+	if s.l1Hits != l1h {
+		t.Error("CPU1 read stale L1 line after sibling write")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := sys()
+	s.Access(0, 0, 0x10, true)
+	var c stats.Counters
+	s.AddCounters(&c)
+	if c.Get("coma.stores") != 1 || s.Name() != "coma" {
+		t.Error("counters or name wrong")
+	}
+}
+
+func TestBadTopologyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(DefaultConfig(0, 1))
+}
+
+// Property: holder-set and single-owner invariants survive any random
+// access mix, and holders are always a subset of the directory's view.
+func TestQuickComaInvariant(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(DefaultConfig(4, 2))
+		var now event.Cycle
+		touched := map[mem.PhysAddr]bool{}
+		for i := 0; i < int(n)+32; i++ {
+			pa := mem.PhysAddr(rng.Intn(64)) * 64
+			now = s.Access(now, rng.Intn(8), pa, rng.Intn(3) == 0)
+			touched[pa] = true
+		}
+		for pa := range touched {
+			if err := s.CheckInvariant(pa); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: repeated access from one node converges to L1/AM hits — the
+// line is "attracted" (no network traffic in steady state).
+func TestQuickAttractionSteadyState(t *testing.T) {
+	f := func(addr uint16) bool {
+		s := sys()
+		pa := mem.PhysAddr(addr) * 64
+		now := s.Access(0, 1, pa, false)
+		msgs := s.net.Messages
+		for i := 0; i < 5; i++ {
+			now = s.Access(now, 1, pa, false)
+		}
+		return s.net.Messages == msgs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"compass/internal/comm"
+	"compass/internal/event"
+	"compass/internal/mem"
+)
+
+// This file processes frontend events: the backend "creates a task ...
+// when all the tasks associated with a particular event have completed,
+// the backend process replies to the frontend process, allowing it to
+// proceed" (§2). Our architecture models compute transaction completion
+// times synchronously (busy-until resources), so most events resolve in
+// one handler; the global task queue carries device and timer activity.
+
+// blockCurrent is set by KCall closures (via BlockCurrent) to request that
+// the current process block after its call completes.
+func (s *Sim) handleEvent(port *comm.Port) {
+	p := s.procs[port.ID()]
+	ev := port.Pending()
+	if ev.Time > s.curTime {
+		s.curTime = ev.Time
+	}
+	if p.cpu < 0 {
+		panic(fmt.Sprintf("core: proc %d posted %v without a CPU", p.id, ev.Kind))
+	}
+
+	switch ev.Kind {
+	case comm.KMem:
+		s.handleMem(p, ev)
+	case comm.KRMW:
+		s.handleRMW(p, ev)
+	case comm.KCall:
+		s.handleCall(p, ev)
+	case comm.KYield:
+		s.handleYield(p, ev)
+	case comm.KBlock:
+		s.handleBlock(p, ev)
+	case comm.KExit:
+		s.handleExit(p, ev)
+	default:
+		panic(fmt.Sprintf("core: unknown event kind %d", ev.Kind))
+	}
+}
+
+// steal consumes the CPU cycles pending from interrupt handlers (§3.2's
+// interrupt-request flag, observed at the event-port boundary).
+func (s *Sim) steal(p *procInfo) event.Cycle {
+	c := p.cpu
+	if c < 0 {
+		return 0
+	}
+	st := s.cpus[c].pendingSteal
+	s.cpus[c].pendingSteal = 0
+	return st
+}
+
+func (s *Sim) spaceFor(p *procInfo, kernel bool) *mem.Space {
+	if kernel {
+		return s.kernel
+	}
+	return p.space
+}
+
+func (s *Sim) handleMem(p *procInfo, ev *comm.Event) {
+	stolen := s.steal(p)
+	t := ev.Time + stolen
+	node := s.NodeOf(p.cpu)
+
+	// Primary reference plus any batched ones, in order. A fault aborts
+	// the rest; the frontend resolves it and reissues.
+	refs := make([]comm.BatchRef, 0, 1+len(ev.Batch))
+	refs = append(refs, comm.BatchRef{Addr: ev.Addr, Size: ev.Size, Write: ev.Write, Kernel: ev.Kernel})
+	refs = append(refs, ev.Batch...)
+	for _, ref := range refs {
+		space := s.spaceFor(p, ref.Kernel)
+		pa, fault := space.Translate(ref.Addr, ref.Write)
+		if fault != nil {
+			s.counters.Inc("vm.faults", 1)
+			p.port.Reply(comm.Reply{Done: t, CPU: p.cpu, Stolen: stolen, Fault: fault})
+			return
+		}
+		s.phys.Touch(pa.Frame(), node)
+		t = s.model.Access(t, p.cpu, pa, ref.Write)
+	}
+	r := comm.Reply{Done: t, CPU: p.cpu, Stolen: stolen}
+	if s.maybePreempt(p, r) {
+		return
+	}
+	p.port.Reply(r)
+}
+
+func (s *Sim) handleRMW(p *procInfo, ev *comm.Event) {
+	stolen := s.steal(p)
+	t := ev.Time + stolen
+	space := s.spaceFor(p, ev.Kernel)
+	pa, fault := space.Translate(ev.Addr, true)
+	if fault != nil {
+		p.port.Reply(comm.Reply{Done: t, CPU: p.cpu, Stolen: stolen, Fault: fault})
+		return
+	}
+	s.phys.Touch(pa.Frame(), s.NodeOf(p.cpu))
+	size := int(ev.Size)
+	if size == 0 {
+		size = 4
+	}
+	old := s.phys.ReadUint(pa, size)
+	switch ev.Op {
+	case comm.RMWSwap:
+		s.phys.WriteUint(pa, size, ev.Operand)
+	case comm.RMWAdd:
+		s.phys.WriteUint(pa, size, old+ev.Operand)
+	case comm.RMWCAS:
+		if old == ev.Expected {
+			s.phys.WriteUint(pa, size, ev.Operand)
+		}
+	}
+	t = s.model.Access(t, p.cpu, pa, true)
+	s.counters.Inc("sync.rmw", 1)
+	r := comm.Reply{Done: t, CPU: p.cpu, Stolen: stolen, Value: old}
+	if s.maybePreempt(p, r) {
+		return
+	}
+	p.port.Reply(r)
+}
+
+func (s *Sim) handleCall(p *procInfo, ev *comm.Event) {
+	stolen := s.steal(p)
+	t := ev.Time + stolen + s.cfg.CallCycles
+	s.curProcID = p.id
+	s.curBlock = false
+	result := ev.Call()
+	s.curProcID = -1
+	r := comm.Reply{Done: t, CPU: p.cpu, Stolen: stolen, Result: result}
+	if s.curBlock {
+		s.park(p, r, false)
+		s.dispatch(t)
+		// Delayed wake may already be pending (completion raced the block).
+		if p.wakePend {
+			p.wakePend = false
+			if p.wakeTime > p.parked.Done {
+				p.parked.Done = p.wakeTime
+			}
+			s.enqueueReady(p)
+			s.dispatch(t)
+		}
+		return
+	}
+	if s.maybePreempt(p, r) {
+		return
+	}
+	p.port.Reply(r)
+}
+
+func (s *Sim) handleYield(p *procInfo, ev *comm.Event) {
+	stolen := s.steal(p)
+	t := ev.Time + stolen
+	if len(s.ready) == 0 {
+		p.port.Reply(comm.Reply{Done: t, CPU: p.cpu, Stolen: stolen})
+		return
+	}
+	s.counters.Inc("sched.yields", 1)
+	s.park(p, comm.Reply{Done: t, Stolen: stolen}, true)
+	s.dispatch(t)
+}
+
+func (s *Sim) handleBlock(p *procInfo, ev *comm.Event) {
+	stolen := s.steal(p)
+	t := ev.Time + stolen
+	if p.wakePend {
+		// The wakeup arrived before the block (§3.3.3's lost-wakeup case):
+		// do not release the CPU at all.
+		p.wakePend = false
+		done := t
+		if p.wakeTime > done {
+			done = p.wakeTime
+		}
+		p.port.Reply(comm.Reply{Done: done, CPU: p.cpu, Stolen: stolen})
+		return
+	}
+	s.counters.Inc("sched.blocks", 1)
+	s.park(p, comm.Reply{Done: t, Stolen: stolen}, false)
+	s.dispatch(t)
+}
+
+func (s *Sim) handleExit(p *procInfo, ev *comm.Event) {
+	t := ev.Time + s.steal(p)
+	p.exited = true
+	s.live--
+	if p.daemon {
+		s.daemons--
+	}
+	s.release(p)
+	p.port.ReplyExit(comm.Reply{Done: t, CPU: -1})
+	s.dispatch(t)
+}
+
+// BlockCurrent, called from within a KCall closure, makes the calling
+// process block once the call returns; a later Wake (device completion,
+// IPC) releases it. This is the §3.3.3 stub-pair: the call marks the
+// process blocked and frees its processor.
+func (s *Sim) BlockCurrent() {
+	if s.curProcID < 0 {
+		panic("core: BlockCurrent outside a KCall")
+	}
+	s.curBlock = true
+}
+
+// CurProc returns the id of the process whose KCall is being handled, or
+// -1 (backend context).
+func (s *Sim) CurProc() int { return s.curProcID }

@@ -1,0 +1,434 @@
+// Package core implements the backend simulation process (§2): it binds
+// the communicator, the global event scheduler and the target-architecture
+// memory model, and hosts the category-2 OS models — the process scheduler
+// (FCFS / affinity / preemptive, §3.3.2), the virtual-memory manager
+// (§3.3.1), blocking-call bookkeeping (§3.3.3) and interrupt delivery
+// (§3.2).
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"compass/internal/comm"
+	"compass/internal/event"
+	"compass/internal/frontend"
+	"compass/internal/isa"
+	"compass/internal/mem"
+	"compass/internal/memsys"
+	"compass/internal/stats"
+)
+
+// SchedPolicy selects the process scheduler (§3.3.2).
+type SchedPolicy int
+
+const (
+	// SchedFCFS assigns the first available processor ("default").
+	SchedFCFS SchedPolicy = iota
+	// SchedAffinity prefers a processor the process used before,
+	// then a processor on the same node ("optimized").
+	SchedAffinity
+)
+
+// String names the policy.
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedFCFS:
+		return "fcfs"
+	case SchedAffinity:
+		return "affinity"
+	default:
+		return fmt.Sprintf("SchedPolicy(%d)", int(p))
+	}
+}
+
+// Config describes the simulated machine and backend behaviour.
+type Config struct {
+	// CPUs is the number of simulated processors.
+	CPUs int
+	// CPUsPerNode groups processors into nodes for the affinity scheduler
+	// and first-touch placement. 0 means all CPUs on one node.
+	CPUsPerNode int
+	// MemFrames is the size of simulated physical memory in 4 KB frames.
+	MemFrames uint64
+	// MemNodes is the number of memory nodes (home-node placement).
+	MemNodes int
+	// Placement is the page-placement policy.
+	Placement mem.Placement
+	// Timing is the static instruction-latency table for frontends.
+	Timing isa.Timing
+	// NewModel builds the target memory system; it receives the physical
+	// memory (for home-node lookups) and the CPU count.
+	NewModel func(phys *mem.Physical, cpus int) memsys.Model
+	// Scheduler picks the process-scheduler policy.
+	Scheduler SchedPolicy
+	// Preemptive enables quantum-based preemption on top of the policy.
+	Preemptive bool
+	// Quantum is the preemption interval in cycles.
+	Quantum event.Cycle
+	// CtxSwitch is the context-switch cost in cycles.
+	CtxSwitch event.Cycle
+	// CallCycles is the fixed backend-call (category-2 service) cost.
+	CallCycles event.Cycle
+}
+
+// DefaultConfig returns a 4-CPU, 64 MB, FCFS machine with a fixed-latency
+// memory model.
+func DefaultConfig() Config {
+	return Config{
+		CPUs:      4,
+		MemFrames: 16384, // 64 MB
+		MemNodes:  1,
+		Placement: mem.PlaceRoundRobin,
+		Timing:    isa.DefaultTiming(),
+		NewModel: func(_ *mem.Physical, _ int) memsys.Model {
+			return &memsys.Fixed{Latency: 10}
+		},
+		Scheduler:  SchedFCFS,
+		Quantum:    200000,
+		CtxSwitch:  600,
+		CallCycles: 80,
+	}
+}
+
+type cpuInfo struct {
+	occupant     int // proc id, or -1
+	pendingSteal event.Cycle
+	preempt      bool
+	lastOccupant int // occupant at last quantum tick (-2 = none yet)
+	deferred     []deferredIntr
+}
+
+type procInfo struct {
+	id      int
+	name    string
+	port    *comm.Port
+	proc    *frontend.Proc
+	space   *mem.Space
+	cpu     int // current CPU, -1 when not dispatched
+	lastCPU int
+	// parked is the reply withheld until the process scheduler gives the
+	// process a CPU again (spawn, block, yield, preemption).
+	parked   *comm.Reply
+	inReady  bool
+	wakePend bool
+	wakeTime event.Cycle
+	exited   bool
+	// daemon processes (kernel threads like syncd) do not keep the
+	// simulation alive: Run ends when every non-daemon process exits.
+	daemon bool
+}
+
+// Sim is the backend simulation process.
+type Sim struct {
+	cfg    Config
+	hub    *comm.Hub
+	queue  *event.Queue
+	phys   *mem.Physical
+	shm    *mem.ShmRegistry
+	kernel *mem.Space
+	model  memsys.Model
+
+	procs   []*procInfo
+	cpus    []cpuInfo
+	ready   []int
+	live    int
+	daemons int
+
+	nonDaemon int
+	curTime   event.Cycle
+	curProcID int
+	curBlock  bool
+
+	// idleIntr accumulates interrupt-handler cycles delivered to CPUs with
+	// no process dispatched (nobody to steal from).
+	idleIntr stats.TimeAccount
+	counters stats.Counters
+
+	ctxSwitches  uint64
+	preemptions  uint64
+	deadlockInfo string
+}
+
+// New builds a simulator from cfg.
+func New(cfg Config) *Sim {
+	if cfg.CPUs < 1 {
+		panic("core: need at least one CPU")
+	}
+	if cfg.CPUsPerNode <= 0 {
+		cfg.CPUsPerNode = cfg.CPUs
+	}
+	if cfg.MemNodes < 1 {
+		cfg.MemNodes = 1
+	}
+	s := &Sim{
+		cfg:       cfg,
+		hub:       comm.NewHub(cfg.CPUs),
+		queue:     event.NewQueue(),
+		phys:      mem.NewPhysical(cfg.MemFrames, cfg.MemNodes, cfg.Placement),
+		curProcID: -1,
+	}
+	s.shm = mem.NewShmRegistry(s.phys)
+	s.kernel = mem.NewSpace(s.phys)
+	s.model = cfg.NewModel(s.phys, cfg.CPUs)
+	s.cpus = make([]cpuInfo, cfg.CPUs)
+	for i := range s.cpus {
+		s.cpus[i] = cpuInfo{occupant: -1, lastOccupant: -2}
+	}
+	if cfg.Preemptive {
+		s.scheduleQuantumTick()
+	}
+	return s
+}
+
+// Phys returns the simulated physical memory (backend context).
+func (s *Sim) Phys() *mem.Physical { return s.phys }
+
+// Shm returns the shared-memory registry (backend context).
+func (s *Sim) Shm() *mem.ShmRegistry { return s.shm }
+
+// KernelSpace returns the shared kernel address space (backend context).
+func (s *Sim) KernelSpace() *mem.Space { return s.kernel }
+
+// Model returns the memory-system model (backend context).
+func (s *Sim) Model() memsys.Model { return s.model }
+
+// Hub returns the communicator.
+func (s *Sim) Hub() *comm.Hub { return s.hub }
+
+// CPUs returns the simulated CPU count.
+func (s *Sim) CPUs() int { return s.cfg.CPUs }
+
+// NodeOf returns the node a CPU belongs to.
+func (s *Sim) NodeOf(cpu int) int { return cpu / s.cfg.CPUsPerNode }
+
+// CurTime returns the backend's current processing time (backend context).
+func (s *Sim) CurTime() event.Cycle { return s.curTime }
+
+// Spawn registers a new simulated process running body and returns its
+// frontend handle. The process is born on the ready queue; the process
+// scheduler dispatches it when a CPU frees up (§3.3.2: "the simulator
+// assigns processors to processes as long as there are free processors").
+// Safe before Run and from backend context (KCall).
+func (s *Sim) Spawn(name string, body func(*frontend.Proc)) *frontend.Proc {
+	return s.spawn(name, body, false)
+}
+
+// SpawnDaemon registers a daemon process (a kernel thread such as the
+// buffer-cache flusher): it runs like any process but does not keep the
+// simulation alive. Call before Run.
+func (s *Sim) SpawnDaemon(name string, body func(*frontend.Proc)) *frontend.Proc {
+	return s.spawn(name, body, true)
+}
+
+func (s *Sim) spawn(name string, body func(*frontend.Proc), daemon bool) *frontend.Proc {
+	port := s.hub.NewPort(comm.StateBlocked)
+	proc := frontend.New(port.ID(), name, port, s.cfg.Timing)
+
+	s.hub.Lock()
+	pi := &procInfo{
+		id: port.ID(), name: name, port: port, proc: proc,
+		space: mem.NewSpace(s.phys), cpu: -1, lastCPU: -1,
+		parked: &comm.Reply{Done: s.curTime},
+		daemon: daemon,
+	}
+	s.procs = append(s.procs, pi)
+	s.live++
+	if daemon {
+		s.daemons++
+	}
+	s.enqueueReady(pi)
+	s.dispatch(s.curTime)
+	s.hub.Unlock()
+
+	go func() {
+		r := port.AwaitStart()
+		proc.Start(r)
+		body(proc)
+		if !proc.Exited() {
+			proc.Exit()
+		}
+	}()
+	return proc
+}
+
+// ProcIsDaemon reports whether pid is a daemon process (backend context).
+
+// ProcIsDaemon reports whether pid is a daemon process (backend context).
+func (s *Sim) ProcIsDaemon(pid int) bool { return s.procs[pid].daemon }
+
+// SpawnLocked is Spawn for callers already holding the hub lock (KCall
+// closures implementing fork).
+func (s *Sim) SpawnLocked(name string, body func(*frontend.Proc)) *frontend.Proc {
+	port := s.hub.NewPortLocked(comm.StateBlocked)
+	proc := frontend.New(port.ID(), name, port, s.cfg.Timing)
+	pi := &procInfo{
+		id: port.ID(), name: name, port: port, proc: proc,
+		space: mem.NewSpace(s.phys), cpu: -1, lastCPU: -1,
+		parked: &comm.Reply{Done: s.curTime},
+	}
+	s.procs = append(s.procs, pi)
+	s.live++
+	s.enqueueReady(pi)
+	s.dispatch(s.curTime)
+	go func() {
+		r := port.AwaitStart()
+		proc.Start(r)
+		body(proc)
+		if !proc.Exited() {
+			proc.Exit()
+		}
+	}()
+	return proc
+}
+
+// Run executes the backend loop until every process has exited and no
+// non-daemon tasks remain. It returns the final simulation time.
+func (s *Sim) Run() event.Cycle {
+	s.hub.Lock()
+	defer s.hub.Unlock()
+	armed := false
+	for {
+		if s.live-s.daemons == 0 && s.nonDaemon == 0 {
+			break
+		}
+		pick, minRun, running, posted := s.hub.Scan()
+		qt, qok := s.queue.NextTime()
+
+		// The global task queue wins ties: a task at cycle T runs before
+		// any frontend event at T, and before any running frontend whose
+		// published clock is exactly T (its next event cannot be earlier).
+		if qok && qt <= minRun && (pick == nil || qt <= pick.Pending().Time) {
+			armed = false
+			if qt > s.curTime {
+				s.curTime = qt
+			}
+			s.queue.Step()
+			continue
+		}
+		if pick != nil {
+			armed = false
+			s.handleEvent(pick)
+			continue
+		}
+		if running > 0 {
+			// Frontends are still executing host code. In spin mode the
+			// backend polls their lock-free clocks (the communicator's
+			// shared-memory scan, §2); otherwise arm the wakeup flag,
+			// re-scan once, and only then sleep (no publish can be lost
+			// in between).
+			if s.hub.SpinWait() {
+				// Bounded lock-free poll of the activity counter (the
+				// communicator scanning the shared execution-time cells);
+				// fall through to the sleeping path when nothing moves.
+				act := s.hub.Activity()
+				s.hub.Unlock()
+				moved := false
+				for i := 0; i < 20000; i++ {
+					if s.hub.Activity() != act {
+						moved = true
+						break
+					}
+					if i&255 == 255 {
+						runtime.Gosched()
+					}
+				}
+				s.hub.Lock()
+				if moved {
+					continue
+				}
+			}
+			if !armed {
+				s.hub.ArmWait()
+				armed = true
+				continue
+			}
+			s.hub.WaitBackend()
+			armed = false
+			continue
+		}
+		if posted > 0 {
+			// All posted but none eligible — impossible when nothing runs.
+			panic("core: posted events but no pick with no runners")
+		}
+		if !qok {
+			// Nothing runnable, nothing queued, yet processes remain.
+			panic("core: deadlock — " + s.describeStuck())
+		}
+		// Only daemon tasks remain but processes are blocked: let the
+		// queue advance (e.g. a timer will eventually fire a wakeup).
+		if qt > s.curTime {
+			s.curTime = qt
+		}
+		s.queue.Step()
+	}
+	return s.curTime
+}
+
+func (s *Sim) describeStuck() string {
+	out := ""
+	for _, p := range s.procs {
+		if !p.exited {
+			out += fmt.Sprintf("[proc %d %q state=%v cpu=%d ready=%v wakePend=%v] ",
+				p.id, p.name, p.port.State(), p.cpu, p.inReady, p.wakePend)
+		}
+	}
+	if out == "" {
+		out = "(no live procs)"
+	}
+	return out
+}
+
+// ScheduleTask schedules fn in the backend's global event queue at delay
+// cycles after the current processing time (backend context). Non-daemon
+// tasks keep the simulation alive; daemon tasks (periodic timers) do not.
+func (s *Sim) ScheduleTask(delay event.Cycle, label string, daemon bool, fn func()) *event.Task {
+	when := s.curTime + delay
+	if qn := s.queue.Now(); when < qn {
+		when = qn
+	}
+	if daemon {
+		return s.queue.At(when, label, fn)
+	}
+	s.nonDaemon++
+	return s.queue.At(when, label, func() {
+		s.nonDaemon--
+		fn()
+	})
+}
+
+// Counters returns a merged snapshot of backend statistics (call after
+// Run).
+func (s *Sim) Counters() *stats.Counters {
+	var c stats.Counters
+	s.model.AddCounters(&c)
+	c.Add(&s.counters)
+	c.Inc("sched.ctxswitches", s.ctxSwitches)
+	c.Inc("sched.preemptions", s.preemptions)
+	c.Inc("backend.tasks", s.queue.Dispatched())
+	return &c
+}
+
+// IdleInterrupt exposes interrupt-handler time charged to idle CPUs.
+func (s *Sim) IdleInterrupt() *stats.TimeAccount { return &s.idleIntr }
+
+// Procs returns the frontend handles of all spawned processes (for
+// after-run reporting).
+func (s *Sim) Procs() []*frontend.Proc {
+	out := make([]*frontend.Proc, len(s.procs))
+	for i, p := range s.procs {
+		out[i] = p.proc
+	}
+	return out
+}
+
+// TotalAccount merges every process's time account plus idle interrupt
+// time — the Table 1 numerator and denominator.
+func (s *Sim) TotalAccount() stats.TimeAccount {
+	var a stats.TimeAccount
+	for _, p := range s.procs {
+		a.Add(p.proc.Account())
+	}
+	a.Add(&s.idleIntr)
+	return a
+}

@@ -1,0 +1,410 @@
+// Package dev implements the physical-device models of §3.4: "the real
+// time clock, the Ethernet and the hard disk drives". Devices live in the
+// backend: they schedule completion tasks in the global event queue, raise
+// interrupts through the CPU-states structure, and wake blocked processes.
+package dev
+
+import (
+	"fmt"
+
+	"compass/internal/core"
+	"compass/internal/event"
+	"compass/internal/mem"
+)
+
+// pickCPU distributes device interrupts round-robin over the CPUs, like an
+// interrupt controller.
+type irqRouter struct {
+	sim  *core.Sim
+	next int
+}
+
+func (r *irqRouter) route() int {
+	c := r.next % r.sim.CPUs()
+	r.next++
+	return c
+}
+
+// --- Real-time clock --------------------------------------------------------
+
+// RTCConfig configures the interval timer.
+type RTCConfig struct {
+	// TickCycles is the interval-timer period (10 ms at 100 MHz = 1M).
+	TickCycles event.Cycle
+	// HandlerCycles is the tick handler's CPU cost.
+	HandlerCycles event.Cycle
+}
+
+// DefaultRTCConfig returns a 10 ms / 100 MHz-style timer.
+func DefaultRTCConfig() RTCConfig {
+	return RTCConfig{TickCycles: 1_000_000, HandlerCycles: 1200}
+}
+
+// RTC is the real-time clock: a periodic daemon task that charges
+// interval-timer interrupt time on every CPU — the "interval timer" share
+// of TPCC/TPCD interrupt time in Table 1.
+type RTC struct {
+	sim   *core.Sim
+	cfg   RTCConfig
+	Ticks uint64
+}
+
+// NewRTC starts the clock (backend setup context).
+func NewRTC(sim *core.Sim, cfg RTCConfig) *RTC {
+	r := &RTC{sim: sim, cfg: cfg}
+	r.arm()
+	return r
+}
+
+func (r *RTC) arm() {
+	r.sim.ScheduleTask(r.cfg.TickCycles, "rtc-tick", true, func() {
+		r.Ticks++
+		for c := 0; c < r.sim.CPUs(); c++ {
+			r.sim.RaiseInterrupt(c, r.sim.CurTime(), r.cfg.HandlerCycles, nil)
+		}
+		r.arm()
+	})
+}
+
+// Time returns seconds of simulated time given a cycles-per-second rate.
+func (r *RTC) Time(cyclesPerSec uint64, now event.Cycle) float64 {
+	return float64(now) / float64(cyclesPerSec)
+}
+
+// --- Hard disk --------------------------------------------------------------
+
+// DiskConfig sizes and times a disk.
+type DiskConfig struct {
+	Blocks        int         // capacity in 4 KB blocks
+	SeekCycles    event.Cycle // average seek + rotational delay
+	PerByteCycles float64     // media transfer rate
+	HandlerCycles event.Cycle // completion interrupt handler cost
+	// HandlerTouches is how many kernel-space lines the handler touches
+	// (buffer headers, queue entries) per completion.
+	HandlerTouches int
+	// PositionalSeek makes the seek portion depend on head travel: a
+	// quarter of SeekCycles for rotation plus travel-proportional cost up
+	// to ~1.75x SeekCycles for a full stroke.
+	PositionalSeek bool
+	// Elevator enables SCAN request scheduling: the arm serves the
+	// pending request nearest ahead of the sweep direction instead of
+	// FIFO.
+	Elevator bool
+}
+
+// DefaultDiskConfig models a late-90s 7200 rpm disk against a 100 MHz CPU:
+// ~8 ms seek+rotate = 800k cycles, ~10 MB/s transfer = 10 cycles/byte.
+func DefaultDiskConfig(blocks int) DiskConfig {
+	return DiskConfig{
+		Blocks:         blocks,
+		SeekCycles:     800_000,
+		PerByteCycles:  10,
+		HandlerCycles:  14000,
+		HandlerTouches: 16,
+	}
+}
+
+// BlockSize is the disk block size in bytes (one page).
+const BlockSize = mem.PageSize
+
+// Disk is a hard disk with a request queue (FIFO or SCAN), an optional
+// positional seek model, and DMA completion interrupts. Block contents are
+// functional: the filesystem reads and writes real bytes.
+type Disk struct {
+	sim    *core.Sim
+	cfg    DiskConfig
+	irq    irqRouter
+	data   map[int][]byte
+	ringVA mem.VirtAddr // kernel addresses the handler touches
+
+	// Backend-owned arm state.
+	pending []diskReq
+	busy    bool
+	head    int
+	sweepUp bool
+	seq     uint64
+
+	Reads, Writes uint64
+	BusyCycles    event.Cycle
+	SeekSum       event.Cycle
+}
+
+type diskReq struct {
+	block  int
+	write  bool
+	bytes  int
+	seq    uint64
+	onDone func(done event.Cycle)
+}
+
+// NewDisk creates a disk (setup context). A small kernel-space ring of
+// buffer headers is allocated so completion handlers generate kernel
+// memory traffic.
+func NewDisk(sim *core.Sim, cfg DiskConfig) *Disk {
+	ring, err := sim.KernelSbrk(mem.PageSize)
+	if err != nil {
+		panic(fmt.Sprintf("dev: disk ring alloc: %v", err))
+	}
+	return &Disk{
+		sim: sim, cfg: cfg,
+		irq:     irqRouter{sim: sim},
+		data:    make(map[int][]byte),
+		ringVA:  ring,
+		sweepUp: true,
+	}
+}
+
+// Capacity returns the number of blocks.
+func (d *Disk) Capacity() int { return d.cfg.Blocks }
+
+// ReadBlock returns the stored contents of a block (setup/kernel context;
+// timing is accounted separately via Submit).
+func (d *Disk) ReadBlock(block int, dst []byte) {
+	if b, ok := d.data[block]; ok {
+		copy(dst, b)
+		return
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// WriteBlock stores block contents (setup/kernel context).
+func (d *Disk) WriteBlock(block int, src []byte) {
+	if block < 0 || block >= d.cfg.Blocks {
+		panic(fmt.Sprintf("dev: block %d out of range", block))
+	}
+	b := make([]byte, BlockSize)
+	copy(b, src)
+	d.data[block] = b
+}
+
+// SubmitAt queues an I/O for `bytes` bytes targeting `block` and arranges
+// for onDone to run at completion time, after the completion interrupt is
+// raised (backend context). Queued requests are served FIFO or by the SCAN
+// elevator per the configuration.
+func (d *Disk) SubmitAt(block int, write bool, bytes int, onDone func(done event.Cycle)) {
+	if write {
+		d.Writes++
+	} else {
+		d.Reads++
+	}
+	d.seq++
+	d.pending = append(d.pending, diskReq{block: block, write: write, bytes: bytes, seq: d.seq, onDone: onDone})
+	d.kick()
+}
+
+// Submit is SubmitAt for callers without a meaningful block number (legacy
+// shape; treated as the current head position, i.e. no extra travel). The
+// completion is reported via onDone; the returned cycle is nominal.
+func (d *Disk) Submit(at event.Cycle, write bool, bytes int, onDone func(done event.Cycle)) event.Cycle {
+	d.SubmitAt(d.head, write, bytes, onDone)
+	return at
+}
+
+// kick starts the arm on the next pending request if idle (backend
+// context).
+func (d *Disk) kick() {
+	if d.busy || len(d.pending) == 0 {
+		return
+	}
+	idx := d.pickNext()
+	req := d.pending[idx]
+	d.pending = append(d.pending[:idx], d.pending[idx+1:]...)
+	d.busy = true
+
+	service := d.serviceTime(req)
+	d.BusyCycles += service
+	d.head = req.block
+	d.sim.ScheduleTask(service, "disk-complete", false, func() {
+		d.busy = false
+		cpu := d.irq.route()
+		touches := make([]core.KernelTouch, 0, d.cfg.HandlerTouches)
+		for i := 0; i < d.cfg.HandlerTouches; i++ {
+			touches = append(touches, core.KernelTouch{
+				Addr:  d.ringVA + mem.VirtAddr((int(req.seq)*d.cfg.HandlerTouches+i)*32%mem.PageSize),
+				Write: i%2 == 0,
+			})
+		}
+		d.sim.RaiseInterrupt(cpu, d.sim.CurTime(), d.cfg.HandlerCycles, touches)
+		if req.onDone != nil {
+			req.onDone(d.sim.CurTime())
+		}
+		d.kick()
+	})
+}
+
+// pickNext selects the next request: FIFO by default; with the elevator,
+// the nearest block in the sweep direction (reversing at the end), ties
+// broken by submission order (pending stays in submission order).
+func (d *Disk) pickNext() int {
+	if !d.cfg.Elevator || len(d.pending) == 1 {
+		return 0
+	}
+	for pass := 0; pass < 2; pass++ {
+		best := -1
+		bestDist := 1 << 62
+		for i, r := range d.pending {
+			ahead := (d.sweepUp && r.block >= d.head) || (!d.sweepUp && r.block <= d.head)
+			if !ahead {
+				continue
+			}
+			dist := r.block - d.head
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist < bestDist {
+				bestDist = dist
+				best = i
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		d.sweepUp = !d.sweepUp // end of sweep: reverse
+	}
+	return 0
+}
+
+// serviceTime computes seek + rotation + transfer for a request.
+func (d *Disk) serviceTime(req diskReq) event.Cycle {
+	transfer := event.Cycle(float64(req.bytes) * d.cfg.PerByteCycles)
+	if !d.cfg.PositionalSeek {
+		return d.cfg.SeekCycles + transfer
+	}
+	dist := req.block - d.head
+	if dist < 0 {
+		dist = -dist
+	}
+	// Quarter for rotation, up to 1.5x more for a full stroke.
+	seek := d.cfg.SeekCycles/4 +
+		event.Cycle(float64(d.cfg.SeekCycles)*1.5*float64(dist)/float64(d.cfg.Blocks))
+	d.SeekSum += seek
+	return seek + transfer
+}
+
+// --- Ethernet ---------------------------------------------------------------
+
+// NICConfig times the network interface.
+type NICConfig struct {
+	// WireCycles is the fixed propagation + switch latency per packet.
+	WireCycles event.Cycle
+	// PerByteCycles is the serialization rate (100 Mb/s at 100 MHz ≈ 8).
+	PerByteCycles float64
+	// HandlerCycles is the RX/TX interrupt handler cost — the dominant
+	// interrupt share for SPECWeb in Table 1.
+	HandlerCycles event.Cycle
+	// HandlerTouches is the kernel lines (mbufs, descriptors) the handler
+	// touches per packet.
+	HandlerTouches int
+}
+
+// DefaultNICConfig models 100 Mb Ethernet on a 100 MHz CPU.
+func DefaultNICConfig() NICConfig {
+	return NICConfig{
+		WireCycles:     5_000,
+		PerByteCycles:  8,
+		HandlerCycles:  2200,
+		HandlerTouches: 12,
+	}
+}
+
+// Packet is one Ethernet frame. Payload bytes are functional (the HTTP
+// requests and responses are real text).
+type Packet struct {
+	Conn    int // connection id assigned by the stack / client
+	Flags   PacketFlags
+	Payload []byte
+}
+
+// PacketFlags marks control packets.
+type PacketFlags uint8
+
+const (
+	// FlagSYN opens a connection.
+	FlagSYN PacketFlags = 1 << iota
+	// FlagFIN closes a connection.
+	FlagFIN
+)
+
+// NIC is the simulated Ethernet adapter. The receive path delivers into a
+// backend callback (the network stack); the transmit path delivers to an
+// external peer callback (the SPECWeb trace player's client side).
+type NIC struct {
+	sim  *core.Sim
+	cfg  NICConfig
+	wire *event.Resource
+	irq  irqRouter
+	ring mem.VirtAddr
+
+	// OnReceive is invoked in backend context when a packet arrives from
+	// the wire (after the RX interrupt).
+	OnReceive func(pkt Packet, at event.Cycle)
+	// OnTransmit is invoked in backend context when a locally sent packet
+	// reaches the wire's far end (the external client).
+	OnTransmit func(pkt Packet, at event.Cycle)
+
+	RxPackets, TxPackets uint64
+	RxBytes, TxBytes     uint64
+}
+
+// NewNIC creates the adapter (setup context).
+func NewNIC(sim *core.Sim, cfg NICConfig) *NIC {
+	ring, err := sim.KernelSbrk(mem.PageSize)
+	if err != nil {
+		panic(fmt.Sprintf("dev: nic ring alloc: %v", err))
+	}
+	return &NIC{sim: sim, cfg: cfg, wire: event.NewResource("eth.wire"), irq: irqRouter{sim: sim}, ring: ring}
+}
+
+func (n *NIC) touches(count int, seed uint64) []core.KernelTouch {
+	out := make([]core.KernelTouch, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, core.KernelTouch{
+			Addr:  n.ring + mem.VirtAddr((seed*uint64(count)+uint64(i))*32%mem.PageSize),
+			Write: i%2 == 0,
+		})
+	}
+	return out
+}
+
+// Inject delivers a packet from the external peer to the host at `delay`
+// cycles from now (backend context): wire time, then RX interrupt, then
+// the stack's OnReceive.
+func (n *NIC) Inject(pkt Packet, delay event.Cycle) {
+	n.sim.ScheduleTask(delay, "eth-rx", false, func() {
+		at := n.wire.Acquire(n.sim.CurTime(), event.Cycle(float64(len(pkt.Payload))*n.cfg.PerByteCycles))
+		at += n.cfg.WireCycles
+		n.sim.ScheduleTask(at-n.sim.CurTime(), "eth-rx-intr", false, func() {
+			n.RxPackets++
+			n.RxBytes += uint64(len(pkt.Payload))
+			cpu := n.irq.route()
+			n.sim.RaiseInterrupt(cpu, n.sim.CurTime(), n.cfg.HandlerCycles, n.touches(n.cfg.HandlerTouches, n.RxPackets))
+			if n.OnReceive != nil {
+				n.OnReceive(pkt, n.sim.CurTime())
+			}
+		})
+	})
+}
+
+// Transmit sends a packet toward the external peer (backend context): TX
+// interrupt on completion, then OnTransmit at the far end.
+func (n *NIC) Transmit(pkt Packet, at event.Cycle) {
+	start := at
+	if ct := n.sim.CurTime(); ct > start {
+		start = ct
+	}
+	txDone := n.wire.Acquire(start, event.Cycle(float64(len(pkt.Payload))*n.cfg.PerByteCycles))
+	n.sim.ScheduleTask(txDone-n.sim.CurTime(), "eth-tx-intr", false, func() {
+		n.TxPackets++
+		n.TxBytes += uint64(len(pkt.Payload))
+		cpu := n.irq.route()
+		n.sim.RaiseInterrupt(cpu, n.sim.CurTime(), n.cfg.HandlerCycles, n.touches(n.cfg.HandlerTouches, n.TxPackets))
+	})
+	arrive := txDone + n.cfg.WireCycles
+	n.sim.ScheduleTask(arrive-n.sim.CurTime(), "eth-deliver", false, func() {
+		if n.OnTransmit != nil {
+			n.OnTransmit(pkt, n.sim.CurTime())
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package dev
+
+import (
+	"bytes"
+	"testing"
+
+	"compass/internal/core"
+	"compass/internal/event"
+	"compass/internal/stats"
+)
+
+func newSim() *core.Sim {
+	cfg := core.DefaultConfig()
+	cfg.CPUs = 2
+	cfg.MemFrames = 1024
+	return core.New(cfg)
+}
+
+// drain runs the simulator's queue with no processes (devices only).
+func drain(s *core.Sim) { s.Run() }
+
+func TestDiskServiceTimeScalesWithBytes(t *testing.T) {
+	s := newSim()
+	d := NewDisk(s, DefaultDiskConfig(128))
+	var small, big event.Cycle
+	d.SubmitAt(0, false, 512, func(done event.Cycle) { small = done })
+	d2 := NewDisk(s, DefaultDiskConfig(128))
+	d2.SubmitAt(0, false, 65536, func(done event.Cycle) { big = done })
+	drain(s)
+	if big <= small {
+		t.Errorf("64KB transfer (%d) not slower than 512B (%d)", big, small)
+	}
+	if small <= d.cfg.SeekCycles {
+		t.Error("transfer time missing")
+	}
+}
+
+func TestDiskArmSerializesRequests(t *testing.T) {
+	s := newSim()
+	d := NewDisk(s, DefaultDiskConfig(128))
+	var t1, t2 event.Cycle
+	d.SubmitAt(0, false, 4096, func(done event.Cycle) { t1 = done })
+	d.SubmitAt(0, false, 4096, func(done event.Cycle) { t2 = done })
+	drain(s)
+	if t2 < t1+d.cfg.SeekCycles {
+		t.Errorf("second I/O (%d) overlapped the first (%d)", t2, t1)
+	}
+}
+
+func TestPositionalSeekChargesTravel(t *testing.T) {
+	cfg := DefaultDiskConfig(1000)
+	cfg.PositionalSeek = true
+	s := newSim()
+	d := NewDisk(s, cfg)
+	var near, far event.Cycle
+	d.SubmitAt(0, false, 4096, func(done event.Cycle) { near = done })
+	drain(s)
+	s2 := newSim()
+	d2 := NewDisk(s2, cfg)
+	d2.SubmitAt(999, false, 4096, func(done event.Cycle) { far = done })
+	drain(s2)
+	if far <= near {
+		t.Errorf("full-stroke seek (%d) not slower than zero travel (%d)", far, near)
+	}
+}
+
+func TestElevatorBeatsFIFOOnScatteredQueue(t *testing.T) {
+	run := func(elevator bool) event.Cycle {
+		cfg := DefaultDiskConfig(1000)
+		cfg.PositionalSeek = true
+		cfg.Elevator = elevator
+		s := newSim()
+		d := NewDisk(s, cfg)
+		// Alternate far/near blocks so FIFO ping-pongs the head while SCAN
+		// sweeps once.
+		blocks := []int{900, 10, 880, 30, 860, 50, 840, 70}
+		var last event.Cycle
+		for _, b := range blocks {
+			d.SubmitAt(b, false, 4096, func(done event.Cycle) {
+				if done > last {
+					last = done
+				}
+			})
+		}
+		drain(s)
+		return last
+	}
+	fifo := run(false)
+	scan := run(true)
+	if scan >= fifo {
+		t.Errorf("elevator (%d) not faster than FIFO (%d) on a scattered queue", scan, fifo)
+	}
+	t.Logf("8 scattered I/Os: FIFO %d cycles, SCAN %d cycles (%.2fx)", fifo, scan, float64(fifo)/float64(scan))
+}
+
+func TestElevatorServesEverything(t *testing.T) {
+	cfg := DefaultDiskConfig(500)
+	cfg.Elevator = true
+	cfg.PositionalSeek = true
+	s := newSim()
+	d := NewDisk(s, cfg)
+	served := 0
+	for _, b := range []int{400, 5, 250, 499, 0, 123, 123, 77} {
+		d.SubmitAt(b, b%2 == 0, 4096, func(event.Cycle) { served++ })
+	}
+	drain(s)
+	if served != 8 {
+		t.Errorf("served %d of 8 (elevator starved requests?)", served)
+	}
+}
+
+func TestDiskCompletionCallbackAndInterrupt(t *testing.T) {
+	s := newSim()
+	d := NewDisk(s, DefaultDiskConfig(128))
+	var completedAt event.Cycle
+	want := d.Submit(0, true, 4096, func(done event.Cycle) { completedAt = done })
+	drain(s)
+	if completedAt == 0 {
+		t.Fatal("completion callback never ran")
+	}
+	if completedAt < want {
+		t.Errorf("completed at %d, service said %d", completedAt, want)
+	}
+	// Interrupt went to an idle CPU → idle interrupt account.
+	if s.IdleInterrupt().Cycles(stats.ModeInterrupt) == 0 {
+		t.Error("no idle interrupt time charged")
+	}
+	if d.Writes != 1 {
+		t.Errorf("writes = %d", d.Writes)
+	}
+}
+
+func TestDiskBlockStore(t *testing.T) {
+	s := newSim()
+	d := NewDisk(s, DefaultDiskConfig(16))
+	src := bytes.Repeat([]byte{0x5A}, BlockSize)
+	d.WriteBlock(3, src)
+	dst := make([]byte, BlockSize)
+	d.ReadBlock(3, dst)
+	if !bytes.Equal(src, dst) {
+		t.Error("block round-trip failed")
+	}
+	// Unwritten blocks read as zeros.
+	d.ReadBlock(7, dst)
+	for _, b := range dst {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+	if d.Capacity() != 16 {
+		t.Errorf("capacity = %d", d.Capacity())
+	}
+}
+
+func TestDiskBlockOutOfRangePanics(t *testing.T) {
+	s := newSim()
+	d := NewDisk(s, DefaultDiskConfig(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d.WriteBlock(99, make([]byte, BlockSize))
+}
+
+func TestNICInjectDeliversAfterWireLatency(t *testing.T) {
+	s := newSim()
+	n := NewNIC(s, DefaultNICConfig())
+	var got Packet
+	var at event.Cycle
+	n.OnReceive = func(pkt Packet, when event.Cycle) {
+		got = pkt
+		at = when
+	}
+	n.Inject(Packet{Conn: 9, Payload: []byte("hello")}, 100)
+	drain(s)
+	if string(got.Payload) != "hello" || got.Conn != 9 {
+		t.Fatalf("got %+v", got)
+	}
+	if at < 100+n.cfg.WireCycles {
+		t.Errorf("delivered at %d, too early", at)
+	}
+	if n.RxPackets != 1 || n.RxBytes != 5 {
+		t.Errorf("rx stats: %d pkts %d bytes", n.RxPackets, n.RxBytes)
+	}
+}
+
+func TestNICTransmitReachesPeer(t *testing.T) {
+	s := newSim()
+	n := NewNIC(s, DefaultNICConfig())
+	var seen []byte
+	n.OnTransmit = func(pkt Packet, _ event.Cycle) { seen = pkt.Payload }
+	// Transmit must be initiated from backend context: use a task.
+	s.ScheduleTask(10, "tx", false, func() {
+		n.Transmit(Packet{Conn: 1, Payload: []byte("resp")}, s.CurTime())
+	})
+	drain(s)
+	if string(seen) != "resp" {
+		t.Fatalf("peer saw %q", seen)
+	}
+	if n.TxPackets != 1 {
+		t.Errorf("tx packets = %d", n.TxPackets)
+	}
+}
+
+func TestRTCTicksAndCharges(t *testing.T) {
+	s := newSim()
+	cfg := DefaultRTCConfig()
+	cfg.TickCycles = 10_000
+	r := NewRTC(s, cfg)
+	// Keep the simulation alive past several ticks with a dummy task.
+	s.ScheduleTask(55_000, "stop", false, func() {})
+	drain(s)
+	if r.Ticks < 5 {
+		t.Errorf("ticks = %d, want >= 5", r.Ticks)
+	}
+	if s.IdleInterrupt().Cycles(stats.ModeInterrupt) == 0 {
+		t.Error("timer charged nothing on idle CPUs")
+	}
+	if sec := r.Time(100_000_000, 50_000_000); sec != 0.5 {
+		t.Errorf("Time() = %f", sec)
+	}
+}
+
+func TestIRQRouterRoundRobin(t *testing.T) {
+	s := newSim()
+	r := irqRouter{sim: s}
+	if a, b, c := r.route(), r.route(), r.route(); a != 0 || b != 1 || c != 0 {
+		t.Errorf("routing %d %d %d", a, b, c)
+	}
+}

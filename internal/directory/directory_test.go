@@ -1,0 +1,234 @@
+package directory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"compass/internal/cache"
+	"compass/internal/event"
+	"compass/internal/mem"
+	"compass/internal/stats"
+)
+
+func sys() *System { return New(DefaultConfig(4, 1), nil) }
+
+func TestLocalVsRemoteMissLatency(t *testing.T) {
+	s := sys()
+	// Frame 0 homes at node 0 (address interleave). CPU 0 is node 0.
+	tLocal := s.Access(0, 0, mem.PhysAddr(0), false)
+	s2 := sys()
+	// Frame 1 homes at node 1; access from CPU 0 → remote.
+	tRemote := s2.Access(0, 0, mem.PhysAddr(1)<<mem.PageShift, false)
+	if tRemote <= tLocal {
+		t.Errorf("remote miss (%d) not slower than local (%d)", tRemote, tLocal)
+	}
+	if s.localMiss != 1 || s2.remoteMiss != 1 {
+		t.Error("miss locality counters wrong")
+	}
+}
+
+func TestExclusiveGrantAndSilentUpgrade(t *testing.T) {
+	s := sys()
+	now := s.Access(0, 0, 0x100, false)
+	if s.CacheState(0, 0x100) != cache.Exclusive {
+		t.Fatalf("sole reader got %v, want E", s.CacheState(0, 0x100))
+	}
+	// A write hit on the Exclusive line must not touch the network.
+	msgs := s.net.Messages
+	now = s.Access(now, 0, 0x100, true)
+	if s.net.Messages != msgs {
+		t.Error("E→M upgrade went to the network")
+	}
+	if s.CacheState(0, 0x100) != cache.Modified {
+		t.Fatalf("after write: %v", s.CacheState(0, 0x100))
+	}
+	_ = now
+}
+
+func TestThreeHopForwarding(t *testing.T) {
+	s := sys()
+	now := s.Access(0, 1, mem.PhysAddr(2)<<mem.PageShift, true) // CPU1 dirties line homed at node 2
+	if s.CacheState(1, mem.PhysAddr(2)<<mem.PageShift) != cache.Modified {
+		t.Fatal("writer does not own line")
+	}
+	now = s.Access(now, 3, mem.PhysAddr(2)<<mem.PageShift, false) // CPU3 reads: home 2, owner 1
+	if s.threeHop != 1 {
+		t.Errorf("threeHop = %d, want 1", s.threeHop)
+	}
+	la := mem.PhysAddr(2) << mem.PageShift
+	if s.CacheState(1, la) != cache.Shared || s.CacheState(3, la) != cache.Shared {
+		t.Errorf("post-forward states: %v %v", s.CacheState(1, la), s.CacheState(3, la))
+	}
+	if s.writebacks == 0 {
+		t.Error("dirty forward did not write back to home")
+	}
+	if err := s.CheckCoherence(la); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteInvalidatesAllSharers(t *testing.T) {
+	s := New(DefaultConfig(4, 2), nil) // 8 CPUs
+	var now event.Cycle
+	pa := mem.PhysAddr(0x40)
+	for cpu := 0; cpu < 8; cpu++ {
+		now = s.Access(now, cpu, pa, false)
+	}
+	now = s.Access(now, 5, pa, true)
+	for cpu := 0; cpu < 8; cpu++ {
+		want := cache.Invalid
+		if cpu == 5 {
+			want = cache.Modified
+		}
+		if got := s.CacheState(cpu, pa); got != want {
+			t.Errorf("cpu %d: %v, want %v", cpu, got, want)
+		}
+	}
+	if err := s.CheckCoherence(pa); err != nil {
+		t.Error(err)
+	}
+	_ = now
+}
+
+func TestFirstTouchHomeFunc(t *testing.T) {
+	phys := mem.NewPhysical(64, 4, mem.PlaceFirstTouch)
+	for i := 0; i < 8; i++ {
+		phys.AllocFrame()
+	}
+	home := func(frame uint64, node int) int { return phys.Touch(frame, node) }
+	s := New(DefaultConfig(4, 1), home)
+	// CPU 3 (node 3) touches frame 5 first → node 3 becomes its home; a
+	// later access from CPU 3 is a local miss.
+	pa := mem.PhysAddr(5) << mem.PageShift
+	s.Access(0, 3, pa, false)
+	if phys.Home(5) != 3 {
+		t.Fatalf("first-touch home = %d, want 3", phys.Home(5))
+	}
+	if s.localMiss != 1 || s.remoteMiss != 0 {
+		t.Errorf("first touch not local: local=%d remote=%d", s.localMiss, s.remoteMiss)
+	}
+}
+
+func TestCountersAndName(t *testing.T) {
+	s := sys()
+	s.Access(0, 0, 0x0, true)
+	var c stats.Counters
+	s.AddCounters(&c)
+	if c.Get("ccnuma.stores") != 1 {
+		t.Error("stores counter missing")
+	}
+	if s.Name() != "ccnuma" || s.CPUs() != 4 {
+		t.Error("identity wrong")
+	}
+	if s.NodeOf(3) != 3 {
+		t.Error("NodeOf wrong")
+	}
+	if s.Net() == nil {
+		t.Error("Net() nil")
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("65-CPU config accepted")
+		}
+	}()
+	New(DefaultConfig(65, 1), nil)
+}
+
+func TestPageMigration(t *testing.T) {
+	phys := mem.NewPhysical(64, 4, mem.PlaceRoundRobin)
+	for i := 0; i < 16; i++ {
+		phys.AllocFrame()
+	}
+	cfg := DefaultConfig(4, 1)
+	cfg.MigrateThreshold = 4
+	cfg.MigrateCost = 5000
+	home := func(frame uint64, node int) int { return phys.Touch(frame, node) }
+	s := New(cfg, home)
+	s.SetMigrator(func(frame uint64, node int) { phys.SetHome(frame, node) })
+
+	// Frame 1 homes at node 1 (round-robin). CPU 3 hammers it: after the
+	// threshold the page must move to node 3 and later misses go local.
+	pa := mem.PhysAddr(1) << mem.PageShift
+	var now event.Cycle
+	// Evict between accesses by touching conflicting lines so every access
+	// is an L2 miss (single CPU cache would otherwise absorb them).
+	for i := 0; i < 12; i++ {
+		now = s.Access(now, 3, pa+mem.PhysAddr((i%64)*64), false)
+	}
+	if s.migrations != 1 {
+		t.Fatalf("migrations = %d, want 1", s.migrations)
+	}
+	if phys.Home(1) != 3 {
+		t.Fatalf("frame 1 homed at %d, want 3", phys.Home(1))
+	}
+	localBefore := s.localMiss
+	now = s.Access(now, 3, pa+50*64, false) // fresh line, now local
+	_ = now
+	if s.localMiss != localBefore+1 {
+		t.Error("post-migration miss not local")
+	}
+	// Invariants must hold for the flushed lines.
+	for off := 0; off < mem.PageSize; off += 64 {
+		if err := s.CheckCoherence(pa + mem.PhysAddr(off)); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// Property: after any access sequence over a small hot set, every line
+// satisfies SWMR and directory-cache agreement.
+func TestQuickDirectoryCoherence(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(DefaultConfig(4, 2), nil)
+		var now event.Cycle
+		touched := map[mem.PhysAddr]bool{}
+		for i := 0; i < int(n)+32; i++ {
+			// Hot lines spread over several frames → different homes.
+			pa := mem.PhysAddr(rng.Intn(16))*mem.PageSize + mem.PhysAddr(rng.Intn(4))*64
+			cpu := rng.Intn(8)
+			now = s.Access(now, cpu, pa, rng.Intn(3) == 0)
+			touched[s.lineAddr(pa)] = true
+		}
+		for pa := range touched {
+			if err := s.CheckCoherence(pa); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: access completion time is strictly after issue time and the
+// model is deterministic under replay.
+func TestQuickDeterministicTiming(t *testing.T) {
+	f := func(seed int64) bool {
+		run := func() event.Cycle {
+			rng := rand.New(rand.NewSource(seed))
+			s := New(DefaultConfig(4, 1), nil)
+			var now event.Cycle
+			for i := 0; i < 64; i++ {
+				pa := mem.PhysAddr(rng.Intn(2048)) * 32
+				done := s.Access(now, rng.Intn(4), pa, rng.Intn(2) == 0)
+				if done <= now {
+					return 0
+				}
+				now = done
+			}
+			return now
+		}
+		a, b := run(), run()
+		return a != 0 && a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package dsm
+
+import (
+	"fmt"
+	"testing"
+
+	"compass/internal/frontend"
+	"compass/internal/isa"
+	"compass/internal/machine"
+	"compass/internal/mem"
+	"compass/internal/osserver"
+	"compass/internal/simsync"
+)
+
+// stencil runs a page-partitioned compute over a DSM region: each node
+// writes its own pages and reads a neighbour's, round-robin, under a
+// barrier — the minimal sharing pattern that drives page migrations and
+// invalidations.
+func TestDSMStencil(t *testing.T) {
+	const nodes = 4
+	const pagesPerNode = 2
+	cfg := machine.Default()
+	cfg.CPUs = nodes
+	m := machine.New(cfg)
+	proto := New(DefaultConfig(nodes))
+
+	totalBytes := uint32(nodes * pagesPerNode * mem.PageSize)
+
+	for i := 0; i < nodes; i++ {
+		i := i
+		m.SpawnConnected(fmt.Sprintf("node%d", i), func(p *frontend.Proc) {
+			os := osserver.For(p)
+			// One extra page up front holds the barrier words; the DSM
+			// region itself must be page-aligned.
+			segID, err := os.ShmGet(0xD5A1, totalBytes+mem.PageSize)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			base, err := os.ShmAt(segID)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			region := NewRegion(m.Sim, proto, base+mem.PageSize, totalBytes)
+			view := region.NewView(i)
+			bar := &simsync.Barrier{Addr: base, N: nodes}
+
+			myPage := region.Base + mem.VirtAddr(i*pagesPerNode*mem.PageSize)
+			neighbour := region.Base + mem.VirtAddr(((i+1)%nodes)*pagesPerNode*mem.PageSize)
+
+			for iter := 0; iter < 3; iter++ {
+				view.StoreRange(p, myPage, 2*mem.PageSize)
+				p.Compute(isa.ALU(500))
+				bar.Wait(p)
+				view.LoadRange(p, neighbour, 2*mem.PageSize)
+				bar.Wait(p)
+			}
+		})
+	}
+	m.Sim.Run()
+
+	if proto.ReadFaults == 0 || proto.WriteFaults == 0 {
+		t.Errorf("faults r=%d w=%d — protocol never engaged", proto.ReadFaults, proto.WriteFaults)
+	}
+	if proto.PageMoves == 0 {
+		t.Error("no page transfers")
+	}
+	if proto.Invalidations == 0 {
+		t.Error("no invalidations despite write sharing")
+	}
+	// Every page must satisfy SWMR at the end.
+	for page := range proto.pages {
+		if err := proto.CheckInvariant(page); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestDSMRightsCachedAfterFault(t *testing.T) {
+	cfg := machine.Default()
+	cfg.CPUs = 2
+	m := machine.New(cfg)
+	proto := New(DefaultConfig(2))
+	var faultsAfterWarm uint64
+	m.SpawnConnected("n1", func(p *frontend.Proc) {
+		os := osserver.For(p)
+		segID, _ := os.ShmGet(0xD5A2, 4*mem.PageSize)
+		base, _ := os.ShmAt(segID)
+		region := NewRegion(m.Sim, proto, base, 4*mem.PageSize)
+		view := region.NewView(1)
+		view.Store(p, base+100, 4) // write fault: ownership moves to node 1
+		warm := proto.ReadFaults + proto.WriteFaults
+		for k := 0; k < 50; k++ {
+			view.Store(p, base+mem.VirtAddr(100+k*8), 4)
+			view.Load(p, base+mem.VirtAddr(100+k*8), 4)
+		}
+		faultsAfterWarm = proto.ReadFaults + proto.WriteFaults - warm
+	})
+	m.Sim.Run()
+	if faultsAfterWarm != 0 {
+		t.Errorf("%d extra faults on owned page", faultsAfterWarm)
+	}
+}
+
+func TestDSMOutOfRegionPanics(t *testing.T) {
+	cfg := machine.Default()
+	cfg.CPUs = 1
+	m := machine.New(cfg)
+	proto := New(DefaultConfig(1))
+	m.SpawnConnected("n", func(p *frontend.Proc) {
+		os := osserver.For(p)
+		segID, _ := os.ShmGet(0xD5A3, mem.PageSize)
+		base, _ := os.ShmAt(segID)
+		region := NewRegion(m.Sim, proto, base, mem.PageSize)
+		view := region.NewView(0)
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-region access did not panic")
+			}
+		}()
+		view.Load(p, base+2*mem.PageSize, 4)
+	})
+	m.Sim.Run()
+}

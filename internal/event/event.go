@@ -1,0 +1,162 @@
+// Package event implements the backend's global event scheduler: a
+// deterministic discrete-event task queue ordered by simulation cycle.
+//
+// The paper's backend creates a task for every frontend event and inserts it
+// into a "global event scheduler with a time stamp indicating at which global
+// simulation cycle the task is to be dispatched"; tasks may spawn further
+// tasks (bus transactions, directory messages, disk completions). This
+// package is that scheduler. Ties are broken by insertion sequence so a
+// simulation is reproducible regardless of host scheduling.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in target-processor cycles.
+type Cycle uint64
+
+// Task is a unit of backend work dispatched at a fixed simulation cycle.
+type Task struct {
+	when  Cycle
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 when not queued
+	label string
+}
+
+// When returns the cycle at which the task is (or was) scheduled.
+func (t *Task) When() Cycle { return t.when }
+
+// Label returns the diagnostic label given at scheduling time.
+func (t *Task) Label() string { return t.label }
+
+type taskHeap []*Task
+
+func (h taskHeap) Len() int { return len(h) }
+
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h taskHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *taskHeap) Push(x any) {
+	t := x.(*Task)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Queue is the global event scheduler. It is not safe for concurrent use;
+// the backend owns it exclusively.
+type Queue struct {
+	now        Cycle
+	seq        uint64
+	heap       taskHeap
+	dispatched uint64
+}
+
+// NewQueue returns an empty scheduler starting at cycle 0.
+func NewQueue() *Queue { return &Queue{} }
+
+// Now returns the current global simulation cycle, i.e. the timestamp of the
+// most recently dispatched task.
+func (q *Queue) Now() Cycle { return q.now }
+
+// Len reports the number of pending tasks.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Dispatched reports how many tasks have been executed so far.
+func (q *Queue) Dispatched() uint64 { return q.dispatched }
+
+// At schedules fn to run at absolute cycle when. Scheduling in the past
+// (before Now) is a simulator bug and panics.
+func (q *Queue) At(when Cycle, label string, fn func()) *Task {
+	if when < q.now {
+		panic(fmt.Sprintf("event: task %q scheduled at %d, before now %d", label, when, q.now))
+	}
+	t := &Task{when: when, seq: q.seq, fn: fn, label: label}
+	q.seq++
+	heap.Push(&q.heap, t)
+	return t
+}
+
+// After schedules fn to run delay cycles from now.
+func (q *Queue) After(delay Cycle, label string, fn func()) *Task {
+	return q.At(q.now+delay, label, fn)
+}
+
+// Cancel removes a pending task. It is a no-op if the task already ran.
+func (q *Queue) Cancel(t *Task) {
+	if t == nil || t.index < 0 {
+		return
+	}
+	heap.Remove(&q.heap, t.index)
+	t.index = -1
+}
+
+// NextTime returns the timestamp of the earliest pending task. ok is false
+// when the queue is empty.
+func (q *Queue) NextTime() (when Cycle, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].when, true
+}
+
+// Step dispatches the earliest task, advancing the clock to its timestamp.
+// It reports false when the queue is empty.
+func (q *Queue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	t := heap.Pop(&q.heap).(*Task)
+	q.now = t.when
+	q.dispatched++
+	t.fn()
+	return true
+}
+
+// RunUntil dispatches tasks in time order until the queue is empty or the
+// next task lies strictly beyond limit. It returns the number dispatched.
+func (q *Queue) RunUntil(limit Cycle) int {
+	n := 0
+	for {
+		when, ok := q.NextTime()
+		if !ok || when > limit {
+			return n
+		}
+		q.Step()
+		n++
+	}
+}
+
+// Advance moves the clock forward to when without dispatching anything.
+// It panics if tasks are pending before when, or when is in the past.
+func (q *Queue) Advance(when Cycle) {
+	if when < q.now {
+		panic(fmt.Sprintf("event: Advance to %d, before now %d", when, q.now))
+	}
+	if head, ok := q.NextTime(); ok && head < when {
+		panic(fmt.Sprintf("event: Advance to %d would skip task at %d", when, head))
+	}
+	q.now = when
+}

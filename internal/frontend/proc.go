@@ -1,0 +1,373 @@
+// Package frontend implements the instrumented application runtime — the
+// Go equivalent of the code COMPASS's instrumentor injects into each
+// frontend process (§2).
+//
+// A Proc is one simulated process. Its Compute method plays the role of the
+// basic-block timing code (static per-instruction estimates, 100% I-cache
+// hits); Load/Store/RMW fill the event record and block on the event port
+// exactly like the paper's inserted IPC subroutine; the ON/OFF switch (§5)
+// disables event generation for uninteresting code; and the mode stack
+// attributes every cycle to user, kernel or interrupt time for the Table-1
+// profiles.
+package frontend
+
+import (
+	"fmt"
+
+	"compass/internal/comm"
+	"compass/internal/event"
+	"compass/internal/isa"
+	"compass/internal/mem"
+	"compass/internal/stats"
+)
+
+// Proc is the frontend side of one simulated process. It is used by exactly
+// one goroutine (the simulated process itself).
+type Proc struct {
+	id     int
+	name   string
+	port   *comm.Port
+	timing isa.Timing
+
+	// time is the process-local execution clock (the paper's accumulated
+	// "execution time" value). It is mirrored into the port on every
+	// publish/post.
+	time event.Cycle
+
+	// account attributes cycles to user/kernel/interrupt mode. Owned by
+	// the frontend; read by reporters after the simulation ends.
+	account stats.TimeAccount
+	modes   []stats.Mode
+
+	cpu    int
+	on     bool        // simulation ON/OFF switch
+	offLat event.Cycle // nominal per-reference cost while OFF
+
+	// batching (interleave-granularity ablation): references per event.
+	batchSize int
+	batch     []comm.BatchRef
+
+	// OS is the per-process handle installed by the OS server when the
+	// process connects (the paper's paired OS thread).
+	OS any
+
+	faultHandler FaultHandler
+	exited       bool
+	sink         uint64 // hostSpin accumulator (defeats dead-code elimination)
+}
+
+// New wraps a communicator port in a Proc. Called by the backend's Spawn.
+func New(id int, name string, port *comm.Port, timing isa.Timing) *Proc {
+	return &Proc{
+		id:        id,
+		name:      name,
+		port:      port,
+		timing:    timing,
+		modes:     []stats.Mode{stats.ModeUser},
+		on:        true,
+		batchSize: 1,
+	}
+}
+
+// ID returns the simulated process id.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name (for reports).
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the process-local execution time in cycles.
+func (p *Proc) Now() event.Cycle { return p.time }
+
+// CPU returns the simulated CPU the process last ran on.
+func (p *Proc) CPU() int { return p.cpu }
+
+// Account exposes the time account (read it only after the run finishes).
+func (p *Proc) Account() *stats.TimeAccount { return &p.account }
+
+// Mode returns the current execution mode.
+func (p *Proc) Mode() stats.Mode { return p.modes[len(p.modes)-1] }
+
+// PushMode enters an execution mode (syscall entry pushes ModeKernel,
+// interrupt delivery pushes ModeInterrupt).
+func (p *Proc) PushMode(m stats.Mode) { p.modes = append(p.modes, m) }
+
+// PopMode leaves the current mode.
+func (p *Proc) PopMode() {
+	if len(p.modes) == 1 {
+		panic("frontend: mode stack underflow")
+	}
+	p.modes = p.modes[:len(p.modes)-1]
+}
+
+// SetInstrumentation flips the paper's simulation ON/OFF switch. While off,
+// memory references are not sent to the backend; they advance local time by
+// a nominal latency so control flow still moves forward.
+func (p *Proc) SetInstrumentation(on bool) {
+	if !on {
+		p.flushBatch()
+	}
+	p.on = on
+}
+
+// Instrumented reports the switch position.
+func (p *Proc) Instrumented() bool { return p.on }
+
+// SetBatch sets how many memory references are batched into one event port
+// message (1 = per-reference interleaving; larger values approximate the
+// paper's basic-block granularity with fewer rendezvous).
+func (p *Proc) SetBatch(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.flushBatch()
+	p.batchSize = n
+}
+
+// Compute charges a basic block's worth of non-memory instructions and
+// publishes the new execution time so the backend's smallest-time rule can
+// make progress past this process.
+func (p *Proc) Compute(mix isa.InstrMix) {
+	p.ComputeCycles(mix.Cycles(&p.timing))
+}
+
+// HostWork makes Compute perform real host work proportional to the
+// simulated cycles (iterations per simulated cycle). In the real COMPASS
+// the frontend executes the application's instructions natively between
+// events; this knob restores that property for the Table 2/3 slowdown
+// measurements, where the "raw" baseline is exactly this native execution.
+// Zero (the default) keeps tests fast. Set only between runs.
+var HostWork float64
+
+// ComputeCycles charges raw cycles to the current mode.
+func (p *Proc) ComputeCycles(n uint64) {
+	if n == 0 {
+		return
+	}
+	p.time += event.Cycle(n)
+	p.account.Charge(p.Mode(), n)
+	if HostWork > 0 {
+		p.hostSpin(uint64(float64(n) * HostWork))
+	}
+	p.port.Publish(p.time)
+}
+
+// hostSpin burns host CPU outside any lock (the "native execution" of the
+// instrumented application between events).
+func (p *Proc) hostSpin(iters uint64) {
+	s := p.sink
+	for i := uint64(0); i < iters; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+	}
+	p.sink = s
+}
+
+// Load simulates a read of size bytes at va in the process address space.
+func (p *Proc) Load(va mem.VirtAddr, size int) {
+	p.access(va, size, false, false)
+}
+
+// Store simulates a write of size bytes at va.
+func (p *Proc) Store(va mem.VirtAddr, size int) {
+	p.access(va, size, true, false)
+}
+
+// KLoad simulates a kernel-space read (OS server code runs in the shared
+// kernel address space).
+func (p *Proc) KLoad(va mem.VirtAddr, size int) {
+	p.access(va, size, false, true)
+}
+
+// KStore simulates a kernel-space write.
+func (p *Proc) KStore(va mem.VirtAddr, size int) {
+	p.access(va, size, true, true)
+}
+
+func (p *Proc) access(va mem.VirtAddr, size int, write, kernel bool) {
+	issue := p.timing.Cycles(isa.OpLoadIssue)
+	p.time += event.Cycle(issue)
+	p.account.Charge(p.Mode(), issue)
+	if !p.on {
+		p.time += p.offLat
+		return
+	}
+	if p.batchSize > 1 {
+		p.batch = append(p.batch, comm.BatchRef{
+			Addr: va, Size: uint8(size), Write: write, Kernel: kernel,
+		})
+		if len(p.batch) < p.batchSize {
+			return
+		}
+		p.flushBatchRefs()
+		return
+	}
+	p.memEvent(comm.Event{
+		Kind: comm.KMem, Addr: va, Size: uint8(size), Write: write, Kernel: kernel,
+	})
+}
+
+// flushBatch sends any buffered references before a synchronizing action.
+func (p *Proc) flushBatch() {
+	if len(p.batch) > 0 {
+		p.flushBatchRefs()
+	}
+}
+
+func (p *Proc) flushBatchRefs() {
+	first := p.batch[0]
+	ev := comm.Event{
+		Kind: comm.KMem, Addr: first.Addr, Size: first.Size,
+		Write: first.Write, Kernel: first.Kernel,
+	}
+	if len(p.batch) > 1 {
+		ev.Batch = append([]comm.BatchRef(nil), p.batch[1:]...)
+	}
+	p.batch = p.batch[:0]
+	p.memEvent(ev)
+}
+
+// memEvent posts a memory event, retrying through the trap path on faults.
+func (p *Proc) memEvent(ev comm.Event) {
+	for {
+		ev.Time = p.time
+		r := p.post(ev)
+		if r.Fault == nil {
+			return
+		}
+		// Precise trap (§3.2): the faulting reference itself enters the
+		// kernel, resolves the fault, and retries.
+		if p.faultHandler == nil {
+			panic(fmt.Sprintf("frontend: proc %d: unhandled %v", p.id, r.Fault))
+		}
+		p.PushMode(stats.ModeKernel)
+		p.faultHandler(p, r.Fault)
+		p.PopMode()
+	}
+}
+
+// FaultHandler resolves a page fault in kernel mode; it runs on the
+// faulting process's goroutine, exactly like the paper's pseudo-interrupt
+// path into the paired OS thread.
+type FaultHandler func(p *Proc, f *mem.Fault)
+
+// SetFaultHandler installs the VM fault handler (OS server setup).
+func (p *Proc) SetFaultHandler(h FaultHandler) { p.faultHandler = h }
+
+// RMW performs an atomic read-modify-write on simulated memory and returns
+// the previous word value. It is the synchronization-instruction hook; the
+// functional update happens in the backend, in global timestamp order,
+// which is what makes simulated locks deterministic.
+func (p *Proc) RMW(va mem.VirtAddr, size int, op comm.RMWOp, operand, expected uint64, kernel bool) uint64 {
+	p.flushBatch()
+	sync := p.timing.Cycles(isa.OpSync)
+	p.time += event.Cycle(sync)
+	p.account.Charge(p.Mode(), sync)
+	if !p.on {
+		p.time += p.offLat
+	}
+	r := p.post(comm.Event{
+		Kind: comm.KRMW, Time: p.time, Addr: va, Size: uint8(size),
+		Op: op, Operand: operand, Expected: expected, Kernel: kernel, Write: true,
+	})
+	if r.Fault != nil {
+		panic(fmt.Sprintf("frontend: RMW fault at %#x: %v", uint32(va), r.Fault))
+	}
+	return r.Value
+}
+
+// Call runs fn in backend context (category-2 OS work: VM, scheduler,
+// devices) and returns its result. cost is the instruction-path length
+// charged to the current mode.
+func (p *Proc) Call(cost uint64, fn func() any) any {
+	p.flushBatch()
+	if cost > 0 {
+		p.time += event.Cycle(cost)
+		p.account.Charge(p.Mode(), cost)
+	}
+	r := p.post(comm.Event{Kind: comm.KCall, Time: p.time, Call: fn})
+	return r.Result
+}
+
+// Yield releases the CPU (sched_yield).
+func (p *Proc) Yield() {
+	p.flushBatch()
+	p.post(comm.Event{Kind: comm.KYield, Time: p.time})
+}
+
+// Exit terminates the simulated process. It must be the last Proc call.
+func (p *Proc) Exit() {
+	p.flushBatch()
+	p.exited = true
+	p.post(comm.Event{Kind: comm.KExit, Time: p.time})
+}
+
+// post sends one event and applies the reply to local state: the new
+// execution time, CPU migration, and latency attribution. Cycles stolen by
+// device interrupt handlers are charged to interrupt mode; context-switch
+// cycles to kernel mode; wait time (blocking) is not charged at all, which
+// matches Table 1's "total CPU time excludes wait time due to disk IO".
+func (p *Proc) post(ev comm.Event) comm.Reply {
+	r := p.port.Post(ev)
+	if r.Done < ev.Time {
+		panic(fmt.Sprintf("frontend: time moved backward %d -> %d", ev.Time, r.Done))
+	}
+	elapsed := uint64(r.Done - ev.Time)
+	switch {
+	case r.Ctx > 0:
+		// The event lost the CPU (blocking call, yield with waiters, or
+		// preemption): the off-CPU wait is NOT CPU time — Table 1's total
+		// "excludes wait time due to disk IO". Charge the context switch
+		// to kernel mode and any handler theft to interrupt mode.
+		p.account.Charge(stats.ModeKernel, uint64(r.Ctx))
+		if r.Stolen > 0 {
+			p.account.Charge(stats.ModeInterrupt, uint64(r.Stolen))
+		}
+	case ev.Kind == comm.KMem || ev.Kind == comm.KRMW || ev.Kind == comm.KCall:
+		busy := elapsed - min(elapsed, uint64(r.Stolen))
+		p.account.Charge(p.Mode(), busy)
+		if r.Stolen > 0 {
+			p.account.Charge(stats.ModeInterrupt, uint64(r.Stolen))
+		}
+	}
+	p.time = r.Done
+	p.cpu = r.CPU
+	return r
+}
+
+// Start applies the initial dispatch reply (backend spawn handshake).
+func (p *Proc) Start(r comm.Reply) {
+	p.time = r.Done
+	p.cpu = r.CPU
+}
+
+// Exited reports whether Exit has been called.
+func (p *Proc) Exited() bool { return p.exited }
+
+// Block parks the process in the kernel until a backend task wakes it
+// (blocking OS calls, §3.3.3). The caller must already have arranged the
+// wakeup (wait-queue registration) via a Call.
+func (p *Proc) Block() {
+	p.flushBatch()
+	p.post(comm.Event{Kind: comm.KBlock, Time: p.time})
+}
+
+// TouchRange issues line-granular references over [va, va+n): the memory
+// traffic of a block copy or buffer scan, at 32-byte granularity.
+func (p *Proc) TouchRange(va mem.VirtAddr, n int, write bool) {
+	const line = 32
+	for off := 0; off < n; off += line {
+		p.access(va+mem.VirtAddr(off), min(line, n-off), write, false)
+	}
+}
+
+// KTouchRange is TouchRange in the kernel address space.
+func (p *Proc) KTouchRange(va mem.VirtAddr, n int, write bool) {
+	const line = 32
+	for off := 0; off < n; off += line {
+		p.access(va+mem.VirtAddr(off), min(line, n-off), write, true)
+	}
+}
+
+// ResetAccount zeroes the process's time account — the warmup-discard hook
+// for measurement windows (call it at a barrier between the warmup and
+// measured phases).
+func (p *Proc) ResetAccount() { p.account.Reset() }

@@ -1,0 +1,341 @@
+package frontend
+
+import (
+	"sync"
+	"testing"
+
+	"compass/internal/comm"
+	"compass/internal/event"
+	"compass/internal/isa"
+	"compass/internal/mem"
+	"compass/internal/stats"
+)
+
+// backendStub answers every event with a fixed-latency reply on a
+// dedicated goroutine, recording what it saw.
+type backendStub struct {
+	hub     *comm.Hub
+	latency event.Cycle
+	mu      sync.Mutex
+	events  []comm.Event
+	done    chan struct{}
+}
+
+func newStub(latency event.Cycle) *backendStub {
+	s := &backendStub{hub: comm.NewHub(1), latency: latency, done: make(chan struct{})}
+	return s
+}
+
+func (s *backendStub) run() {
+	s.hub.Lock()
+	defer s.hub.Unlock()
+	for {
+		pick, _, running, _ := s.hub.Scan()
+		if pick != nil {
+			ev := *pick.Pending()
+			s.mu.Lock()
+			s.events = append(s.events, ev)
+			s.mu.Unlock()
+			if ev.Kind == comm.KExit {
+				pick.ReplyExit(comm.Reply{Done: ev.Time})
+				close(s.done)
+				return
+			}
+			r := comm.Reply{Done: ev.Time + s.latency}
+			if ev.Kind == comm.KCall && ev.Call != nil {
+				r.Result = ev.Call()
+			}
+			pick.Reply(r)
+			continue
+		}
+		if running > 0 {
+			s.hub.ArmWait()
+			pick2, _, _, _ := s.hub.Scan()
+			if pick2 != nil {
+				continue
+			}
+			s.hub.WaitBackend()
+			continue
+		}
+		s.hub.WaitBackend()
+	}
+}
+
+// start creates a proc whose events the stub serves; body runs on a
+// goroutine and must end with p.Exit (or fall off, Exit is NOT auto).
+func (s *backendStub) start(t *testing.T, body func(p *Proc)) *Proc {
+	t.Helper()
+	port := s.hub.NewPort(comm.StateRunning)
+	p := New(port.ID(), "t", port, isa.DefaultTiming())
+	go s.run()
+	go func() {
+		body(p)
+		if !p.Exited() {
+			p.Exit()
+		}
+	}()
+	<-s.done
+	return p
+}
+
+func TestComputeChargesCurrentMode(t *testing.T) {
+	s := newStub(5)
+	p := s.start(t, func(p *Proc) {
+		p.ComputeCycles(100)
+		p.PushMode(stats.ModeKernel)
+		p.ComputeCycles(40)
+		p.PushMode(stats.ModeInterrupt)
+		p.ComputeCycles(7)
+		p.PopMode()
+		p.PopMode()
+	})
+	a := p.Account()
+	if a.Cycles(stats.ModeUser) != 100 || a.Cycles(stats.ModeKernel) != 40 || a.Cycles(stats.ModeInterrupt) != 7 {
+		t.Errorf("accounts: user=%d kernel=%d intr=%d",
+			a.Cycles(stats.ModeUser), a.Cycles(stats.ModeKernel), a.Cycles(stats.ModeInterrupt))
+	}
+}
+
+func TestModeUnderflowPanics(t *testing.T) {
+	s := newStub(1)
+	panicked := make(chan bool, 1)
+	s.start(t, func(p *Proc) {
+		func() {
+			defer func() { panicked <- recover() != nil }()
+			p.PopMode()
+		}()
+	})
+	if !<-panicked {
+		t.Fatal("PopMode on empty stack did not panic")
+	}
+}
+
+func TestLoadStoreAdvanceTimeByLatency(t *testing.T) {
+	s := newStub(25)
+	var t0, t1 event.Cycle
+	p := s.start(t, func(p *Proc) {
+		t0 = p.Now()
+		p.Load(0x1000, 4)
+		t1 = p.Now()
+		p.Store(0x2000, 8)
+	})
+	// Issue cost 1 + latency 25.
+	if t1-t0 != 26 {
+		t.Errorf("load advanced %d cycles, want 26", t1-t0)
+	}
+	if len(s.events) != 3 { // load, store, exit
+		t.Fatalf("stub saw %d events", len(s.events))
+	}
+	if s.events[0].Kind != comm.KMem || s.events[0].Write {
+		t.Error("first event not a read")
+	}
+	if !s.events[1].Write || s.events[1].Size != 8 {
+		t.Error("second event not an 8-byte write")
+	}
+	_ = p
+}
+
+func TestInstrumentationOffSkipsEvents(t *testing.T) {
+	s := newStub(25)
+	s.start(t, func(p *Proc) {
+		p.SetInstrumentation(false)
+		for i := 0; i < 50; i++ {
+			p.Load(0x1000, 4)
+		}
+		if !p.Instrumented() {
+			p.SetInstrumentation(true)
+		}
+		p.Load(0x9000, 4)
+	})
+	if len(s.events) != 2 { // one load + exit
+		t.Errorf("stub saw %d events, want 2 (switch off must suppress loads)", len(s.events))
+	}
+}
+
+func TestBatchingCoalescesEvents(t *testing.T) {
+	s := newStub(2)
+	s.start(t, func(p *Proc) {
+		p.SetBatch(4)
+		for i := 0; i < 8; i++ {
+			p.Store(mem.VirtAddr(0x1000+i*64), 4)
+		}
+		p.SetBatch(1)
+	})
+	memEvents := 0
+	batched := 0
+	for _, ev := range s.events {
+		if ev.Kind == comm.KMem {
+			memEvents++
+			batched += 1 + len(ev.Batch)
+		}
+	}
+	if memEvents != 2 {
+		t.Errorf("8 stores in batches of 4 produced %d events, want 2", memEvents)
+	}
+	if batched != 8 {
+		t.Errorf("total refs %d, want 8", batched)
+	}
+}
+
+func TestBatchFlushOnRMW(t *testing.T) {
+	s := newStub(2)
+	s.start(t, func(p *Proc) {
+		p.SetBatch(16)
+		p.Store(0x40, 4)
+		p.Store(0x80, 4)
+		p.RMW(0x100, 4, comm.RMWAdd, 1, 0, false) // must flush the partial batch first
+	})
+	if len(s.events) != 3 { // mem(batch of 2), rmw, exit
+		t.Fatalf("events = %d, want 3", len(s.events))
+	}
+	if s.events[0].Kind != comm.KMem || len(s.events[0].Batch) != 1 {
+		t.Error("partial batch not flushed before RMW")
+	}
+	if s.events[1].Kind != comm.KRMW {
+		t.Error("RMW not second")
+	}
+}
+
+func TestTouchRangeGranularity(t *testing.T) {
+	s := newStub(1)
+	s.start(t, func(p *Proc) {
+		p.TouchRange(0x1000, 100, false) // 100 bytes → 4 references of ≤32B
+	})
+	memEvents := 0
+	for _, ev := range s.events {
+		if ev.Kind == comm.KMem {
+			memEvents++
+		}
+	}
+	if memEvents != 4 {
+		t.Errorf("TouchRange(100B) produced %d events, want 4", memEvents)
+	}
+}
+
+func TestFaultRetry(t *testing.T) {
+	hub := comm.NewHub(1)
+	port := hub.NewPort(comm.StateRunning)
+	p := New(0, "faulty", port, isa.DefaultTiming())
+	faults := 0
+	p.SetFaultHandler(func(pp *Proc, f *mem.Fault) {
+		faults++
+		if pp.Mode() != stats.ModeKernel {
+			t.Error("fault handler not in kernel mode")
+		}
+	})
+	done := make(chan struct{})
+	go func() {
+		p.Load(0x5000, 4)
+		p.Exit()
+		close(done)
+	}()
+	// Backend: fault the first attempt, satisfy the second.
+	hub.Lock()
+	served := 0
+	for served < 3 {
+		pick, _, _, _ := hub.Scan()
+		if pick == nil {
+			hub.ArmWait()
+			if pick2, _, _, _ := hub.Scan(); pick2 == nil {
+				hub.WaitBackend()
+			}
+			continue
+		}
+		ev := *pick.Pending()
+		served++
+		switch {
+		case ev.Kind == comm.KExit:
+			pick.ReplyExit(comm.Reply{Done: ev.Time})
+		case served == 1:
+			pick.Reply(comm.Reply{Done: ev.Time, Fault: &mem.Fault{Kind: mem.FaultNotPresent, Addr: ev.Addr}})
+		default:
+			pick.Reply(comm.Reply{Done: ev.Time + 10})
+		}
+	}
+	hub.Unlock()
+	<-done
+	if faults != 1 {
+		t.Errorf("fault handler ran %d times, want 1", faults)
+	}
+}
+
+func TestStolenCyclesChargedToInterrupt(t *testing.T) {
+	s := newStub(0)
+	s.latency = 0
+	hub := comm.NewHub(1)
+	port := hub.NewPort(comm.StateRunning)
+	p := New(0, "victim", port, isa.DefaultTiming())
+	done := make(chan struct{})
+	go func() {
+		p.Load(0x100, 4)
+		p.Exit()
+		close(done)
+	}()
+	hub.Lock()
+	for n := 0; n < 2; {
+		pick, _, _, _ := hub.Scan()
+		if pick == nil {
+			hub.ArmWait()
+			if p2, _, _, _ := hub.Scan(); p2 == nil {
+				hub.WaitBackend()
+			}
+			continue
+		}
+		ev := *pick.Pending()
+		n++
+		if ev.Kind == comm.KExit {
+			pick.ReplyExit(comm.Reply{Done: ev.Time})
+		} else {
+			pick.Reply(comm.Reply{Done: ev.Time + 500, Stolen: 300})
+		}
+	}
+	hub.Unlock()
+	<-done
+	a := p.Account()
+	if a.Cycles(stats.ModeInterrupt) != 300 {
+		t.Errorf("interrupt cycles = %d, want 300", a.Cycles(stats.ModeInterrupt))
+	}
+	if a.Cycles(stats.ModeUser) != 1+200 { // issue cost + (500-300)
+		t.Errorf("user cycles = %d, want 201", a.Cycles(stats.ModeUser))
+	}
+}
+
+func TestTimeRegressionPanics(t *testing.T) {
+	hub := comm.NewHub(1)
+	port := hub.NewPort(comm.StateRunning)
+	p := New(0, "x", port, isa.DefaultTiming())
+	panicked := make(chan bool, 1)
+	go func() {
+		defer func() { panicked <- recover() != nil }()
+		p.ComputeCycles(1000)
+		p.Load(0x10, 4)
+	}()
+	hub.Lock()
+	for {
+		pick, _, _, _ := hub.Scan()
+		if pick != nil {
+			pick.Reply(comm.Reply{Done: 1}) // before the proc's local time
+			break
+		}
+		hub.ArmWait()
+		if p2, _, _, _ := hub.Scan(); p2 == nil {
+			hub.WaitBackend()
+		}
+	}
+	hub.Unlock()
+	if !<-panicked {
+		t.Fatal("backward reply did not panic the frontend")
+	}
+}
+
+func TestResetAccount(t *testing.T) {
+	s := newStub(1)
+	p := s.start(t, func(p *Proc) {
+		p.ComputeCycles(500)
+		p.ResetAccount()
+		p.ComputeCycles(30)
+	})
+	if got := p.Account().Cycles(stats.ModeUser); got != 30 {
+		t.Errorf("user cycles after reset = %d, want 30", got)
+	}
+}

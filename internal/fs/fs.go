@@ -1,0 +1,545 @@
+// Package fs is the category-1 filesystem service: the OS functions where
+// the paper's database workloads spend their kernel time — kreadv,
+// kwritev, open, close, statx, lseek, fsync, and the mmap/munmap/msync
+// family (§3, Table 1) — implemented over a write-back buffer cache and
+// the simulated disk.
+//
+// Kernel code here runs on application goroutines in kernel mode (the
+// paper's paired OS threads): shared structures are guarded by a simulated
+// fs spinlock, buffer I/O flags are owned by backend context, and every
+// data movement is charged through instrumented kernel-space touches, so
+// file I/O pollutes the caches and memory system of the simulated target.
+package fs
+
+import (
+	"fmt"
+
+	"compass/internal/dev"
+	"compass/internal/event"
+	"compass/internal/frontend"
+	"compass/internal/kernel"
+	"compass/internal/mem"
+	"compass/internal/simsync"
+)
+
+// Config sizes the filesystem.
+type Config struct {
+	// CacheBlocks is the buffer cache capacity in 4 KB blocks.
+	CacheBlocks int
+	// CopyCyclesPerByte approximates the bcopy cost beyond the memory
+	// traffic itself.
+	CopyCyclesPerByte float64
+	// ReadAhead enables one-block sequential prefetch: when a read misses
+	// on block k of a file and block k+1 is uncached, the next block's
+	// media read is started asynchronously so a sequential scan overlaps
+	// computation with rotation.
+	ReadAhead bool
+}
+
+// DefaultConfig gives a 64-block (256 KB) cache with read-ahead on.
+func DefaultConfig() Config {
+	return Config{CacheBlocks: 64, CopyCyclesPerByte: 0.25, ReadAhead: true}
+}
+
+// Inode describes one file.
+type Inode struct {
+	ID     int
+	Name   string
+	Size   int64
+	Blocks []int // absolute disk block numbers, one per 4 KB page
+	kva    mem.VirtAddr
+}
+
+type buffer struct {
+	block int
+	data  []byte
+	kva   mem.VirtAddr
+	// Frontend-owned (under the fs lock):
+	dirty      bool
+	version    uint64
+	kernelBusy bool
+	lruSeq     uint64
+	// Backend-owned:
+	loading bool
+	ioWait  *kernel.WaitQueue
+}
+
+// FS is the filesystem instance.
+type FS struct {
+	k    *kernel.Kernel
+	disk *dev.Disk
+	cfg  Config
+	lock *simsync.SpinLock
+
+	files     map[string]*Inode
+	inodes    []*Inode
+	nextBlock int
+
+	cache    map[int]*buffer
+	lruSeq   uint64
+	freeKVAs []mem.VirtAddr
+
+	Hits, Misses    uint64
+	ReadsB, WritesB uint64
+	Prefetches      uint64
+	inodeTableKVA   mem.VirtAddr
+}
+
+// New builds a filesystem over disk (setup context).
+func New(k *kernel.Kernel, disk *dev.Disk, cfg Config) *FS {
+	f := &FS{
+		k: k, disk: disk, cfg: cfg,
+		lock:  k.SetupLock(),
+		files: make(map[string]*Inode),
+		cache: make(map[int]*buffer),
+	}
+	f.inodeTableKVA = k.SetupAlloc(mem.PageSize)
+	return f
+}
+
+// --- Setup-time (pre-Run) population ----------------------------------------
+
+// SetupCreate makes a file with the given contents before the simulation
+// starts (mkfs / SPECWeb fileset generation / database load).
+func (f *FS) SetupCreate(name string, data []byte) *Inode {
+	if _, ok := f.files[name]; ok {
+		panic(fmt.Sprintf("fs: SetupCreate duplicate %q", name))
+	}
+	ino := &Inode{ID: len(f.inodes), Name: name, Size: int64(len(data)), kva: f.k.SetupAlloc(128)}
+	for off := 0; off < len(data) || (len(data) == 0 && off == 0); off += dev.BlockSize {
+		b := f.allocBlock()
+		ino.Blocks = append(ino.Blocks, b)
+		end := off + dev.BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if off < len(data) {
+			f.disk.WriteBlock(b, data[off:end])
+		}
+		if len(data) == 0 {
+			break
+		}
+	}
+	f.files[name] = ino
+	f.inodes = append(f.inodes, ino)
+	return ino
+}
+
+func (f *FS) allocBlock() int {
+	b := f.nextBlock
+	f.nextBlock++
+	if b >= f.disk.Capacity() {
+		panic("fs: disk full")
+	}
+	return b
+}
+
+// --- Buffer cache -----------------------------------------------------------
+
+// getblk returns the cached buffer for a disk block, reading it from disk
+// if needed. needRead=false skips the media read when the whole block will
+// be overwritten. Returns with no locks held; the buffer data is stable
+// until somebody writes it (under the fs lock).
+func (f *FS) getblk(p *frontend.Proc, block int, needRead bool) *buffer {
+	for {
+		f.lock.Lock(p)
+		buf := f.cache[block]
+		if buf != nil {
+			f.Hits++
+			f.lruSeq++
+			buf.lruSeq = f.lruSeq
+			p.KTouchRange(buf.kva, 64, false) // buffer header
+			f.lock.Unlock(p)
+			// If an I/O is still in flight, sleep until it completes.
+			f.waitIO(p, buf)
+			return buf
+		}
+		f.Misses++
+		// Need a free buffer: evict if at capacity.
+		if len(f.cache) >= f.cfg.CacheBlocks {
+			victim := f.pickVictim()
+			if victim == nil {
+				// Everything busy: yield so the in-flight I/O owners can
+				// run, then retry.
+				f.lock.Unlock(p)
+				p.ComputeCycles(500)
+				p.Yield()
+				continue
+			}
+			if victim.dirty {
+				f.flushLocked(p, victim) // unlocks, writes, relocks
+				if victim.dirty {
+					f.lock.Unlock(p)
+					continue // re-dirtied during flush; retry
+				}
+			}
+			delete(f.cache, victim.block)
+			f.freeKVAs = append(f.freeKVAs, victim.kva)
+		}
+		var kva mem.VirtAddr
+		if n := len(f.freeKVAs); n > 0 {
+			kva = f.freeKVAs[n-1]
+			f.freeKVAs = f.freeKVAs[:n-1]
+		} else {
+			kva = f.k.KmemAlloc(p, dev.BlockSize)
+		}
+		buf = &buffer{
+			block:  block,
+			data:   make([]byte, dev.BlockSize),
+			kva:    kva,
+			ioWait: f.k.NewWaitQueue(fmt.Sprintf("buf%d", block)),
+			// loading is set BEFORE the buffer is published in the map:
+			// another process may hit it and reach waitIO before our
+			// ioRead call is processed, and must not read an unfilled
+			// buffer.
+			loading: needRead,
+		}
+		f.lruSeq++
+		buf.lruSeq = f.lruSeq
+		buf.kernelBusy = needRead
+		f.cache[block] = buf
+		f.lock.Unlock(p)
+		if needRead {
+			f.ioRead(p, buf)
+			f.lock.Lock(p)
+			buf.kernelBusy = false
+			f.lock.Unlock(p)
+		}
+		return buf
+	}
+}
+
+// pickVictim returns the least-recently-used idle clean-or-dirty buffer
+// (caller holds the fs lock), or nil when every buffer is mid-I/O.
+func (f *FS) pickVictim() *buffer {
+	var victim *buffer
+	for _, b := range f.cache {
+		if b.kernelBusy {
+			continue
+		}
+		if victim == nil || b.lruSeq < victim.lruSeq ||
+			(b.lruSeq == victim.lruSeq && b.block < victim.block) {
+			victim = b
+		}
+	}
+	return victim
+}
+
+// flushLocked writes a dirty buffer to disk. Caller holds the fs lock;
+// the function releases it around the disk I/O and retakes it.
+func (f *FS) flushLocked(p *frontend.Proc, buf *buffer) {
+	snap := make([]byte, len(buf.data))
+	copy(snap, buf.data)
+	v := buf.version
+	block := buf.block
+	buf.kernelBusy = true
+	f.lock.Unlock(p)
+	f.ioWrite(p, block, snap)
+	f.lock.Lock(p)
+	buf.kernelBusy = false
+	if buf.version == v {
+		buf.dirty = false
+	}
+}
+
+// waitIO sleeps until the buffer's backend loading flag clears. The check
+// and the sleep registration happen in one backend call, so the wakeup
+// cannot be lost.
+func (f *FS) waitIO(p *frontend.Proc, buf *buffer) {
+	for {
+		waited := p.Call(40, func() any {
+			if buf.loading {
+				buf.ioWait.SleepBackend(p.ID())
+				return true
+			}
+			return false
+		})
+		if !waited.(bool) {
+			return
+		}
+	}
+}
+
+// ioRead starts the media read for buf and blocks the caller until the
+// completion interrupt fires. The completion (backend context) fills the
+// buffer, clears the loading flag, and wakes both the loader and any
+// processes that piled up on the buffer meanwhile.
+func (f *FS) ioRead(p *frontend.Proc, buf *buffer) {
+	pid := p.ID()
+	sim := f.k.Sim
+	p.Call(150, func() any {
+		f.disk.SubmitAt(buf.block, false, dev.BlockSize, func(done event.Cycle) {
+			f.disk.ReadBlock(buf.block, buf.data)
+			buf.loading = false
+			buf.ioWait.WakeAllBackend()
+			sim.Wake(pid, done)
+		})
+		sim.BlockCurrent()
+		return nil
+	})
+	f.ReadsB += dev.BlockSize
+}
+
+// prefetch starts an asynchronous media read for a block if it is not
+// already cached or in flight. The caller does not wait; a later getblk
+// either hits or piles onto the in-flight read.
+func (f *FS) prefetch(p *frontend.Proc, block int) {
+	f.lock.Lock(p)
+	if _, ok := f.cache[block]; ok || len(f.cache) >= f.cfg.CacheBlocks {
+		// Cached already, or the cache is full: skipping beats evicting a
+		// hot block for speculation.
+		f.lock.Unlock(p)
+		return
+	}
+	var kva mem.VirtAddr
+	if n := len(f.freeKVAs); n > 0 {
+		kva = f.freeKVAs[n-1]
+		f.freeKVAs = f.freeKVAs[:n-1]
+	} else {
+		kva = f.k.KmemAlloc(p, dev.BlockSize)
+	}
+	buf := &buffer{
+		block:   block,
+		data:    make([]byte, dev.BlockSize),
+		kva:     kva,
+		ioWait:  f.k.NewWaitQueue(fmt.Sprintf("ra%d", block)),
+		loading: true, // set before publication, as in getblk
+	}
+	f.lruSeq++
+	buf.lruSeq = f.lruSeq
+	f.cache[block] = buf
+	f.lock.Unlock(p)
+	f.Prefetches++
+
+	p.Call(80, func() any {
+		f.disk.SubmitAt(buf.block, false, dev.BlockSize, func(done event.Cycle) {
+			f.disk.ReadBlock(buf.block, buf.data)
+			buf.loading = false
+			buf.ioWait.WakeAllBackend()
+		})
+		return nil
+	})
+}
+
+// ioWrite writes a snapshot of a block synchronously.
+func (f *FS) ioWrite(p *frontend.Proc, block int, snap []byte) {
+	pid := p.ID()
+	sim := f.k.Sim
+	p.Call(150, func() any {
+		f.disk.SubmitAt(block, true, len(snap), func(done event.Cycle) {
+			f.disk.WriteBlock(block, snap)
+			sim.Wake(pid, done)
+		})
+		sim.BlockCurrent()
+		return nil
+	})
+	f.WritesB += uint64(len(snap))
+}
+
+// --- File operations (kernel context) ---------------------------------------
+
+// Lookup resolves a file name (open path). Charges an inode-table touch.
+func (f *FS) Lookup(p *frontend.Proc, name string) (*Inode, error) {
+	f.lock.Lock(p)
+	defer f.lock.Unlock(p)
+	p.KTouchRange(f.inodeTableKVA, 128, false)
+	p.ComputeCycles(uint64(40 + 4*len(name)))
+	ino, ok := f.files[name]
+	if !ok {
+		return nil, fmt.Errorf("fs: %q: no such file", name)
+	}
+	return ino, nil
+}
+
+// Create makes an empty file at run time.
+func (f *FS) Create(p *frontend.Proc, name string) (*Inode, error) {
+	f.lock.Lock(p)
+	defer f.lock.Unlock(p)
+	if _, ok := f.files[name]; ok {
+		return nil, fmt.Errorf("fs: %q exists", name)
+	}
+	p.KTouchRange(f.inodeTableKVA, 128, true)
+	ino := &Inode{ID: len(f.inodes), Name: name, kva: f.k.KmemAlloc(p, 128)}
+	f.files[name] = ino
+	f.inodes = append(f.inodes, ino)
+	return ino, nil
+}
+
+// InodeByID resolves an inode id (mmap fault path; backend or kernel
+// context — the inode slice is append-only).
+func (f *FS) InodeByID(id int) *Inode {
+	return f.inodes[id]
+}
+
+// Stat charges the statx path and returns the file size.
+func (f *FS) Stat(p *frontend.Proc, ino *Inode) int64 {
+	f.lock.Lock(p)
+	defer f.lock.Unlock(p)
+	p.KTouchRange(ino.kva, 96, false)
+	p.ComputeCycles(60)
+	return ino.Size
+}
+
+// blockFor returns the disk block holding file offset off, growing the
+// file if extend is set. Caller holds the fs lock.
+func (f *FS) blockFor(p *frontend.Proc, ino *Inode, off int64, extend bool) (int, error) {
+	idx := int(off / dev.BlockSize)
+	for idx >= len(ino.Blocks) {
+		if !extend {
+			return -1, fmt.Errorf("fs: %q: offset %d beyond EOF %d", ino.Name, off, ino.Size)
+		}
+		ino.Blocks = append(ino.Blocks, f.allocBlock())
+		p.KTouchRange(ino.kva, 32, true)
+	}
+	return ino.Blocks[idx], nil
+}
+
+// ReadAt reads n bytes at offset off into dst (dst may be nil when the
+// caller only needs the traffic, e.g. the web server streaming a file).
+// userVA, when nonzero, charges the copy-out to the user buffer. Returns
+// the bytes read.
+func (f *FS) ReadAt(p *frontend.Proc, ino *Inode, off int64, n int, dst []byte, userVA mem.VirtAddr) (int, error) {
+	f.lock.Lock(p)
+	size := ino.Size
+	f.lock.Unlock(p)
+	if off >= size {
+		return 0, nil
+	}
+	if int64(n) > size-off {
+		n = int(size - off)
+	}
+	read := 0
+	for read < n {
+		cur := off + int64(read)
+		f.lock.Lock(p)
+		block, err := f.blockFor(p, ino, cur, false)
+		var next = -1
+		if f.cfg.ReadAhead {
+			if idx := int(cur/dev.BlockSize) + 1; idx < len(ino.Blocks) {
+				next = ino.Blocks[idx]
+			}
+		}
+		f.lock.Unlock(p)
+		if err != nil {
+			return read, err
+		}
+		buf := f.getblk(p, block, true)
+		if next >= 0 {
+			f.prefetch(p, next)
+		}
+		bo := int(cur % dev.BlockSize)
+		chunk := dev.BlockSize - bo
+		if chunk > n-read {
+			chunk = n - read
+		}
+		// Host-visible copy under the lock (short); the simulated copy
+		// traffic is charged after release so the global fs lock is not
+		// held across hundreds of memory events.
+		if dst != nil {
+			f.lock.Lock(p)
+			copy(dst[read:read+chunk], buf.data[bo:bo+chunk])
+			f.lock.Unlock(p)
+		}
+		p.KTouchRange(buf.kva+mem.VirtAddr(bo), chunk, false)
+		if userVA != 0 {
+			p.TouchRange(userVA+mem.VirtAddr(read), chunk, true)
+		}
+		p.ComputeCycles(uint64(float64(chunk) * f.cfg.CopyCyclesPerByte))
+		read += chunk
+	}
+	return read, nil
+}
+
+// WriteAt writes src (or n anonymous bytes when src is nil) at offset off,
+// extending the file as needed. Write-back: blocks are dirtied in the
+// cache and reach the disk on eviction or fsync.
+func (f *FS) WriteAt(p *frontend.Proc, ino *Inode, off int64, n int, src []byte, userVA mem.VirtAddr) (int, error) {
+	if src != nil {
+		n = len(src)
+	}
+	written := 0
+	for written < n {
+		cur := off + int64(written)
+		f.lock.Lock(p)
+		block, err := f.blockFor(p, ino, cur, true)
+		f.lock.Unlock(p)
+		if err != nil {
+			return written, err
+		}
+		bo := int(cur % dev.BlockSize)
+		chunk := dev.BlockSize - bo
+		if chunk > n-written {
+			chunk = n - written
+		}
+		// A full-block overwrite needs no media read.
+		buf := f.getblk(p, block, !(bo == 0 && chunk == dev.BlockSize))
+		if userVA != 0 {
+			p.TouchRange(userVA+mem.VirtAddr(written), chunk, false)
+		}
+		p.KTouchRange(buf.kva+mem.VirtAddr(bo), chunk, true)
+		p.ComputeCycles(uint64(float64(chunk) * f.cfg.CopyCyclesPerByte))
+		f.lock.Lock(p)
+		if src != nil {
+			copy(buf.data[bo:bo+chunk], src[written:written+chunk])
+		}
+		buf.dirty = true
+		buf.version++
+		if cur+int64(chunk) > ino.Size {
+			ino.Size = cur + int64(chunk)
+			p.KTouchRange(ino.kva, 32, true)
+		}
+		f.lock.Unlock(p)
+		written += chunk
+	}
+	return written, nil
+}
+
+// Fsync flushes every dirty cached block of the file to disk.
+func (f *FS) Fsync(p *frontend.Proc, ino *Inode) {
+	for {
+		f.lock.Lock(p)
+		var target *buffer
+		for _, b := range ino.Blocks {
+			if buf := f.cache[b]; buf != nil && buf.dirty && !buf.kernelBusy {
+				target = buf
+				break
+			}
+		}
+		if target == nil {
+			f.lock.Unlock(p)
+			return
+		}
+		f.flushLocked(p, target) // unlocks/relocks internally
+		f.lock.Unlock(p)
+	}
+}
+
+// SyncAll flushes every dirty buffer (shutdown, the syncd daemon).
+func (f *FS) SyncAll(p *frontend.Proc) {
+	for {
+		f.lock.Lock(p)
+		var target *buffer
+		for _, buf := range f.cache {
+			if buf.dirty && !buf.kernelBusy && (target == nil || buf.block < target.block) {
+				target = buf
+			}
+		}
+		if target == nil {
+			f.lock.Unlock(p)
+			return
+		}
+		f.flushLocked(p, target)
+		f.lock.Unlock(p)
+	}
+}
+
+// CacheOccupancy returns cached and dirty block counts (reporting).
+func (f *FS) CacheOccupancy() (cached, dirty int) {
+	cached = len(f.cache)
+	for _, b := range f.cache {
+		if b.dirty {
+			dirty++
+		}
+	}
+	return cached, dirty
+}

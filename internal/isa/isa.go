@@ -1,0 +1,154 @@
+// Package isa provides the static instruction-timing model that COMPASS's
+// instrumentor bakes into each basic block.
+//
+// The paper's instrumentation "calculates the timing information of the
+// process by using the estimated execution time of each instruction based on
+// the specifications of the microprocessor instruction set, assuming 100%
+// instruction cache hits". This package is that specification table, styled
+// after the PowerPC 604 the authors ran on, plus the InstrMix helper used by
+// the Go-level "instrumented" applications to charge whole basic blocks.
+package isa
+
+import "fmt"
+
+// Op is an instruction class with a fixed issue-to-complete latency.
+type Op int
+
+const (
+	// OpInt is a simple integer ALU operation (add, sub, logical, shift).
+	OpInt Op = iota
+	// OpIntMul is integer multiply.
+	OpIntMul
+	// OpIntDiv is integer divide.
+	OpIntDiv
+	// OpBranch is a conditional or unconditional branch (predicted-taken
+	// static model, as the paper's static per-instruction estimate implies).
+	OpBranch
+	// OpFPAdd is floating-point add/sub/convert.
+	OpFPAdd
+	// OpFPMul is floating-point multiply or fused multiply-add.
+	OpFPMul
+	// OpFPDiv is floating-point divide.
+	OpFPDiv
+	// OpLoadIssue is the pipeline-occupancy cost of a load, excluding the
+	// memory-system latency which the backend supplies per reference.
+	OpLoadIssue
+	// OpStoreIssue is the pipeline-occupancy cost of a store, likewise.
+	OpStoreIssue
+	// OpSync is a synchronizing instruction (sync/isync/eieio class).
+	OpSync
+	numOps
+)
+
+var opNames = [numOps]string{
+	"int", "intmul", "intdiv", "branch",
+	"fpadd", "fpmul", "fpdiv", "load", "store", "sync",
+}
+
+// String returns a short mnemonic class name.
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Timing maps instruction classes to estimated cycles. Values are the
+// PowerPC-604-style defaults; architecture studies may substitute their own.
+type Timing [numOps]uint64
+
+// DefaultTiming returns the PowerPC-604-flavoured static latency table.
+func DefaultTiming() Timing {
+	return Timing{
+		OpInt:        1,
+		OpIntMul:     4,
+		OpIntDiv:     20,
+		OpBranch:     1,
+		OpFPAdd:      3,
+		OpFPMul:      3,
+		OpFPDiv:      18,
+		OpLoadIssue:  1,
+		OpStoreIssue: 1,
+		OpSync:       3,
+	}
+}
+
+// Cycles returns the estimated cycles for one instruction of class o.
+func (t *Timing) Cycles(o Op) uint64 {
+	if o < 0 || int(o) >= len(t) {
+		return 1
+	}
+	return t[o]
+}
+
+// InstrMix describes the non-memory instruction content of a basic block (or
+// a run of basic blocks): how many instructions of each class it executes.
+// It is the unit the instrumented applications use to charge compute time.
+type InstrMix struct {
+	Int    uint64
+	IntMul uint64
+	IntDiv uint64
+	Branch uint64
+	FPAdd  uint64
+	FPMul  uint64
+	FPDiv  uint64
+	Sync   uint64
+}
+
+// Cycles evaluates the mix under timing table t.
+func (m InstrMix) Cycles(t *Timing) uint64 {
+	return m.Int*t.Cycles(OpInt) +
+		m.IntMul*t.Cycles(OpIntMul) +
+		m.IntDiv*t.Cycles(OpIntDiv) +
+		m.Branch*t.Cycles(OpBranch) +
+		m.FPAdd*t.Cycles(OpFPAdd) +
+		m.FPMul*t.Cycles(OpFPMul) +
+		m.FPDiv*t.Cycles(OpFPDiv) +
+		m.Sync*t.Cycles(OpSync)
+}
+
+// Count returns the total number of instructions in the mix.
+func (m InstrMix) Count() uint64 {
+	return m.Int + m.IntMul + m.IntDiv + m.Branch + m.FPAdd + m.FPMul + m.FPDiv + m.Sync
+}
+
+// Scale returns the mix with every class multiplied by n, e.g. a loop body
+// mix scaled by the trip count.
+func (m InstrMix) Scale(n uint64) InstrMix {
+	return InstrMix{
+		Int:    m.Int * n,
+		IntMul: m.IntMul * n,
+		IntDiv: m.IntDiv * n,
+		Branch: m.Branch * n,
+		FPAdd:  m.FPAdd * n,
+		FPMul:  m.FPMul * n,
+		FPDiv:  m.FPDiv * n,
+		Sync:   m.Sync * n,
+	}
+}
+
+// Add returns the element-wise sum of two mixes.
+func (m InstrMix) Add(o InstrMix) InstrMix {
+	return InstrMix{
+		Int:    m.Int + o.Int,
+		IntMul: m.IntMul + o.IntMul,
+		IntDiv: m.IntDiv + o.IntDiv,
+		Branch: m.Branch + o.Branch,
+		FPAdd:  m.FPAdd + o.FPAdd,
+		FPMul:  m.FPMul + o.FPMul,
+		FPDiv:  m.FPDiv + o.FPDiv,
+		Sync:   m.Sync + o.Sync,
+	}
+}
+
+// ALU returns a mix of n simple integer instructions — the most common
+// basic-block shorthand in the instrumented applications.
+func ALU(n uint64) InstrMix { return InstrMix{Int: n} }
+
+// Loop returns a mix approximating a counted loop of trips iterations whose
+// body contains the given mix plus the loop branch.
+func Loop(body InstrMix, trips uint64) InstrMix {
+	body.Branch++
+	body.Int++ // induction update
+	return body.Scale(trips)
+}

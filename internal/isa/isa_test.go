@@ -1,0 +1,98 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTimingSane(t *testing.T) {
+	tm := DefaultTiming()
+	if tm.Cycles(OpInt) != 1 {
+		t.Errorf("int = %d, want 1", tm.Cycles(OpInt))
+	}
+	if tm.Cycles(OpIntDiv) <= tm.Cycles(OpIntMul) {
+		t.Error("divide should cost more than multiply")
+	}
+	if tm.Cycles(OpFPDiv) <= tm.Cycles(OpFPMul) {
+		t.Error("fp divide should cost more than fp multiply")
+	}
+	for o := Op(0); o < numOps; o++ {
+		if tm.Cycles(o) == 0 {
+			t.Errorf("op %v has zero cost", o)
+		}
+	}
+	// Out-of-range ops default to 1 cycle rather than panicking.
+	if tm.Cycles(Op(99)) != 1 {
+		t.Errorf("out-of-range op cost = %d, want 1", tm.Cycles(Op(99)))
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpInt.String() != "int" || OpFPDiv.String() != "fpdiv" {
+		t.Errorf("unexpected names: %s %s", OpInt, OpFPDiv)
+	}
+	if Op(42).String() != "Op(42)" {
+		t.Errorf("out of range name: %s", Op(42))
+	}
+}
+
+func TestInstrMixCycles(t *testing.T) {
+	tm := DefaultTiming()
+	m := InstrMix{Int: 10, Branch: 2, IntMul: 1}
+	want := 10*tm.Cycles(OpInt) + 2*tm.Cycles(OpBranch) + 1*tm.Cycles(OpIntMul)
+	if got := m.Cycles(&tm); got != want {
+		t.Errorf("Cycles = %d, want %d", got, want)
+	}
+	if m.Count() != 13 {
+		t.Errorf("Count = %d, want 13", m.Count())
+	}
+}
+
+func TestScaleAndAdd(t *testing.T) {
+	m := InstrMix{Int: 3, FPMul: 2}
+	s := m.Scale(4)
+	if s.Int != 12 || s.FPMul != 8 {
+		t.Errorf("Scale: %+v", s)
+	}
+	sum := m.Add(InstrMix{Int: 1, Sync: 5})
+	if sum.Int != 4 || sum.Sync != 5 || sum.FPMul != 2 {
+		t.Errorf("Add: %+v", sum)
+	}
+}
+
+func TestLoop(t *testing.T) {
+	tm := DefaultTiming()
+	body := InstrMix{Int: 2}
+	l := Loop(body, 10)
+	// Per trip: 2 int + 1 induction int + 1 branch = 4 instrs.
+	if l.Count() != 40 {
+		t.Errorf("Loop count = %d, want 40", l.Count())
+	}
+	if l.Cycles(&tm) != 40 { // all 1-cycle classes
+		t.Errorf("Loop cycles = %d, want 40", l.Cycles(&tm))
+	}
+}
+
+func TestALU(t *testing.T) {
+	if ALU(7).Int != 7 || ALU(7).Count() != 7 {
+		t.Error("ALU helper wrong")
+	}
+}
+
+// Property: Cycles is linear — Scale(n) costs exactly n times the base, and
+// Add costs the sum.
+func TestQuickMixLinearity(t *testing.T) {
+	tm := DefaultTiming()
+	f := func(a, b uint8, i, mul, br, fp uint8) bool {
+		m := InstrMix{Int: uint64(i), IntMul: uint64(mul), Branch: uint64(br), FPAdd: uint64(fp)}
+		n := uint64(a%16) + 1
+		if m.Scale(n).Cycles(&tm) != n*m.Cycles(&tm) {
+			return false
+		}
+		o := InstrMix{Int: uint64(b)}
+		return m.Add(o).Cycles(&tm) == m.Cycles(&tm)+o.Cycles(&tm)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

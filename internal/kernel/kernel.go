@@ -1,0 +1,242 @@
+// Package kernel is the substrate shared by every simulated OS service:
+// the kernel address space allocator, syscall entry/exit accounting,
+// sleep/wakeup queues, and counting semaphores. It corresponds to the
+// paper's OS-server runtime (§3.1): all OS threads share one kernel
+// address space, and kernel code is instrumented exactly like application
+// code, so its memory references reach the backend and are charged as OS
+// time.
+package kernel
+
+import (
+	"fmt"
+
+	"compass/internal/core"
+	"compass/internal/frontend"
+	"compass/internal/mem"
+	"compass/internal/simsync"
+	"compass/internal/stats"
+)
+
+// Config sets the trap costs.
+type Config struct {
+	// EntryCycles is the syscall trap-in cost (mode switch, save state).
+	EntryCycles uint64
+	// ExitCycles is the trap-out cost.
+	ExitCycles uint64
+}
+
+// DefaultConfig uses late-90s AIX-flavoured trap costs.
+func DefaultConfig() Config {
+	return Config{EntryCycles: 250, ExitCycles: 150}
+}
+
+// Kernel is the shared kernel context.
+type Kernel struct {
+	Sim *core.Sim
+	cfg Config
+
+	// kmem is a bump allocator over the kernel address space. It is
+	// guarded by kmemLock (a simulated spinlock), so allocation order is
+	// deterministic.
+	kmemBase mem.VirtAddr
+	kmemOff  uint32
+	kmemCap  uint32
+	kmemLock simsync.SpinLock
+
+	Syscalls uint64
+}
+
+// New creates the kernel and carves out an arena of arenaBytes for kernel
+// dynamic allocation (mbufs, buffer heads, sockets). Setup context.
+func New(sim *core.Sim, cfg Config, arenaBytes uint32) *Kernel {
+	lockPage, err := sim.KernelSbrk(mem.PageSize)
+	if err != nil {
+		panic(fmt.Sprintf("kernel: lock page: %v", err))
+	}
+	arena, err := sim.KernelSbrk(arenaBytes)
+	if err != nil {
+		panic(fmt.Sprintf("kernel: arena: %v", err))
+	}
+	return &Kernel{
+		Sim:      sim,
+		cfg:      cfg,
+		kmemBase: arena,
+		kmemCap:  arenaBytes,
+		kmemLock: simsync.SpinLock{Addr: lockPage, Kernel: true},
+	}
+}
+
+// Enter begins a system call on process p: kernel mode plus trap cost.
+func (k *Kernel) Enter(p *frontend.Proc) {
+	p.PushMode(stats.ModeKernel)
+	p.ComputeCycles(k.cfg.EntryCycles)
+	k.Syscalls++
+}
+
+// Exit ends a system call.
+func (k *Kernel) Exit(p *frontend.Proc) {
+	p.ComputeCycles(k.cfg.ExitCycles)
+	p.PopMode()
+}
+
+// KmemAlloc allocates size bytes of kernel virtual memory (kernel context,
+// any process's goroutine). The returned address is used for instrumented
+// kernel touches; allocation never frees (arena style), which is fine for
+// the steady-state object pools (mbufs, buffers) the services use.
+func (k *Kernel) KmemAlloc(p *frontend.Proc, size uint32) mem.VirtAddr {
+	k.kmemLock.Lock(p)
+	defer k.kmemLock.Unlock(p)
+	size = (size + 63) &^ 63 // line-align
+	if k.kmemOff+size > k.kmemCap {
+		panic(fmt.Sprintf("kernel: kmem arena exhausted (%d + %d > %d)", k.kmemOff, size, k.kmemCap))
+	}
+	va := k.kmemBase + mem.VirtAddr(k.kmemOff)
+	k.kmemOff += size
+	return va
+}
+
+// NewLock allocates a simulated kernel spinlock.
+func (k *Kernel) NewLock(p *frontend.Proc) *simsync.SpinLock {
+	return &simsync.SpinLock{Addr: k.KmemAlloc(p, 64), Kernel: true}
+}
+
+// SetupLock allocates a kernel spinlock at setup time (before Run), when
+// no process context exists yet.
+func (k *Kernel) SetupLock() *simsync.SpinLock {
+	size := uint32(64)
+	if k.kmemOff+size > k.kmemCap {
+		panic("kernel: kmem arena exhausted at setup")
+	}
+	va := k.kmemBase + mem.VirtAddr(k.kmemOff)
+	k.kmemOff += size
+	return &simsync.SpinLock{Addr: va, Kernel: true}
+}
+
+// SetupAlloc is KmemAlloc for setup time.
+func (k *Kernel) SetupAlloc(size uint32) mem.VirtAddr {
+	size = (size + 63) &^ 63
+	if k.kmemOff+size > k.kmemCap {
+		panic("kernel: kmem arena exhausted at setup")
+	}
+	va := k.kmemBase + mem.VirtAddr(k.kmemOff)
+	k.kmemOff += size
+	return va
+}
+
+// WaitQueue is a kernel sleep queue. Its waiter list is touched only in
+// backend context (through Call / tasks), so sleep and wakeup order is
+// deterministic.
+type WaitQueue struct {
+	k       *Kernel
+	name    string
+	waiters []int
+}
+
+// NewWaitQueue creates a queue.
+func (k *Kernel) NewWaitQueue(name string) *WaitQueue {
+	return &WaitQueue{k: k, name: name}
+}
+
+// Sleep blocks process p on the queue (§3.3.3): it registers the process
+// and blocks in a single backend call, so a wakeup can never be lost. The
+// CALLER must have released any simulated spinlocks first, and must
+// re-check its condition after Sleep returns.
+func (w *WaitQueue) Sleep(p *frontend.Proc) {
+	p.Call(60, func() any {
+		w.waiters = append(w.waiters, p.ID())
+		w.k.Sim.BlockCurrent()
+		return nil
+	})
+}
+
+// SleepBackend registers pid as a sleeper and blocks it, from inside an
+// already-running backend call. The check-and-sleep is atomic with respect
+// to wakeups, closing the lost-wakeup window.
+func (w *WaitQueue) SleepBackend(pid int) {
+	w.waiters = append(w.waiters, pid)
+	w.k.Sim.BlockCurrent()
+}
+
+// WakeAllBackend wakes every sleeper (backend context: device completions,
+// or inside another Call).
+func (w *WaitQueue) WakeAllBackend() {
+	sim := w.k.Sim
+	for _, pid := range w.waiters {
+		sim.Wake(pid, sim.CurTime())
+	}
+	w.waiters = w.waiters[:0]
+}
+
+// WakeOneBackend wakes the longest sleeper, if any (backend context).
+func (w *WaitQueue) WakeOneBackend() bool {
+	if len(w.waiters) == 0 {
+		return false
+	}
+	pid := w.waiters[0]
+	w.waiters = w.waiters[1:]
+	w.k.Sim.Wake(pid, w.k.Sim.CurTime())
+	return true
+}
+
+// WakeAll wakes every sleeper from kernel context on process p.
+func (w *WaitQueue) WakeAll(p *frontend.Proc) {
+	p.Call(60, func() any {
+		w.WakeAllBackend()
+		return nil
+	})
+}
+
+// WakeOne wakes one sleeper from kernel context on process p.
+func (w *WaitQueue) WakeOne(p *frontend.Proc) {
+	p.Call(60, func() any {
+		w.WakeOneBackend()
+		return nil
+	})
+}
+
+// Semaphore is a counting semaphore whose state lives in backend context;
+// P may block, V wakes FIFO. It backs the blocking IPC the database lock
+// manager uses.
+type Semaphore struct {
+	k     *Kernel
+	name  string
+	count int
+	q     *WaitQueue
+}
+
+// NewSemaphore creates a semaphore with an initial count (setup or kernel
+// context).
+func (k *Kernel) NewSemaphore(name string, initial int) *Semaphore {
+	return &Semaphore{k: k, name: name, count: initial, q: k.NewWaitQueue(name + ".q")}
+}
+
+// P decrements the semaphore, blocking while it is zero.
+func (s *Semaphore) P(p *frontend.Proc) {
+	for {
+		got := p.Call(40, func() any {
+			if s.count > 0 {
+				s.count--
+				return true
+			}
+			s.q.waiters = append(s.q.waiters, p.ID())
+			s.k.Sim.BlockCurrent()
+			return false
+		})
+		if got.(bool) {
+			return
+		}
+		// Woken: loop and retry (another process may have taken the count).
+	}
+}
+
+// V increments the semaphore and wakes one waiter.
+func (s *Semaphore) V(p *frontend.Proc) {
+	p.Call(40, func() any {
+		s.count++
+		s.q.WakeOneBackend()
+		return nil
+	})
+}
+
+// Count returns the current count (backend context / after run).
+func (s *Semaphore) Count() int { return s.count }

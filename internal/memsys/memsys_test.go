@@ -1,0 +1,27 @@
+package memsys
+
+import (
+	"testing"
+
+	"compass/internal/stats"
+)
+
+func TestFixedModel(t *testing.T) {
+	f := &Fixed{Latency: 42}
+	if f.Name() != "fixed" {
+		t.Errorf("name %q", f.Name())
+	}
+	done := f.Access(100, 0, 0x1000, false)
+	if done != 142 {
+		t.Errorf("done = %d, want 142", done)
+	}
+	done = f.Access(done, 3, 0x2000, true)
+	if done != 184 {
+		t.Errorf("done = %d, want 184", done)
+	}
+	var c stats.Counters
+	f.AddCounters(&c)
+	if c.Get("fixed.accesses") != 2 {
+		t.Errorf("accesses = %d", c.Get("fixed.accesses"))
+	}
+}

@@ -1,0 +1,354 @@
+// Package netstack is the category-1 network service: the TCP/IP-stack OS
+// calls that dominate the web server's kernel time in Table 1 — select,
+// connect, naccept, send, recv, close — implemented over mbuf-style
+// buffering and the simulated Ethernet device.
+//
+// Connection state is owned by backend context (packet arrival happens in
+// device completion tasks); kernel-mode syscalls reach it through backend
+// calls and sleep on a stack-wide activity queue, reproducing the
+// sleep/recheck structure of a real socket layer. Payload bytes are
+// functional: the web server parses real HTTP request text.
+package netstack
+
+import (
+	"fmt"
+
+	"compass/internal/dev"
+	"compass/internal/event"
+	"compass/internal/frontend"
+	"compass/internal/kernel"
+	"compass/internal/mem"
+	"compass/internal/simsync"
+)
+
+// Config times the protocol stack.
+type Config struct {
+	// StackCyclesPerPacket is the TCP/IP input/output path length.
+	StackCyclesPerPacket uint64
+	// CopyCyclesPerByte approximates checksum + copy beyond memory traffic.
+	CopyCyclesPerByte float64
+	// MbufTouchBytes is how much mbuf memory each packet touches.
+	MbufTouchBytes int
+	// MSS is the maximum payload per packet.
+	MSS int
+}
+
+// DefaultConfig models a mid-90s in-kernel TCP/IP stack (~25 µs per packet
+// at 100 MHz).
+func DefaultConfig() Config {
+	return Config{
+		StackCyclesPerPacket: 4500,
+		CopyCyclesPerByte:    0.5,
+		MbufTouchBytes:       256,
+		MSS:                  1460,
+	}
+}
+
+// Conn is one TCP-ish connection endpoint on the simulated host.
+// All mutable fields are backend-owned.
+type Conn struct {
+	ID         int
+	rxQ        [][]byte
+	rxBytes    int
+	peerClosed bool
+	closed     bool
+	// loopback peer for host-internal connections (client connect() to a
+	// local listener); nil for connections to the external wire.
+	peer *Conn
+}
+
+// Listener accepts connections on a port. Backend-owned.
+type Listener struct {
+	Port    int
+	acceptQ []*Conn
+	closed  bool
+}
+
+// Stack is the network stack instance.
+type Stack struct {
+	k   *kernel.Kernel
+	nic *dev.NIC
+	cfg Config
+
+	// Backend-owned tables.
+	listeners map[int]*Listener
+	conns     map[int]*Conn
+
+	// activity is the stack-wide sleep queue: any packet arrival wakes all
+	// sleepers, which recheck their condition (accept/recv/select).
+	activity *kernel.WaitQueue
+
+	mbufKVA  mem.VirtAddr
+	mbufLock *simsync.SpinLock
+	mbufSeq  uint64
+	nextLoop int // loopback connection id allocator (negative ids)
+
+	RxPackets, TxPackets uint64
+	Accepts, Drops       uint64
+}
+
+// New builds the stack and hooks the NIC receive path (setup context).
+func New(k *kernel.Kernel, nic *dev.NIC, cfg Config) *Stack {
+	s := &Stack{
+		k: k, nic: nic, cfg: cfg,
+		listeners: make(map[int]*Listener),
+		conns:     make(map[int]*Conn),
+		activity:  k.NewWaitQueue("net.activity"),
+		mbufKVA:   k.SetupAlloc(16 * 1024),
+		mbufLock:  k.SetupLock(),
+	}
+	nic.OnReceive = s.input
+	return s
+}
+
+// input is the protocol input path, run in backend context after the RX
+// interrupt (the bottom half of §3.2).
+func (s *Stack) input(pkt dev.Packet, at event.Cycle) {
+	s.RxPackets++
+	switch {
+	case pkt.Flags&dev.FlagSYN != 0:
+		port := 0
+		if len(pkt.Payload) >= 2 {
+			port = int(pkt.Payload[0])<<8 | int(pkt.Payload[1])
+		}
+		l, ok := s.listeners[port]
+		if !ok || l.closed {
+			s.Drops++
+			return
+		}
+		c := &Conn{ID: pkt.Conn}
+		s.conns[pkt.Conn] = c
+		l.acceptQ = append(l.acceptQ, c)
+	case pkt.Flags&dev.FlagFIN != 0:
+		if c, ok := s.conns[pkt.Conn]; ok {
+			c.peerClosed = true
+		}
+	default:
+		c, ok := s.conns[pkt.Conn]
+		if !ok || c.closed {
+			s.Drops++
+			return
+		}
+		c.rxQ = append(c.rxQ, pkt.Payload)
+		c.rxBytes += len(pkt.Payload)
+	}
+	s.activity.WakeAllBackend()
+}
+
+// chargePacket accounts the per-packet protocol work in kernel mode:
+// stack path length plus mbuf traffic.
+func (s *Stack) chargePacket(p *frontend.Proc, payload int) {
+	p.ComputeCycles(s.cfg.StackCyclesPerPacket)
+	p.ComputeCycles(uint64(float64(payload) * s.cfg.CopyCyclesPerByte))
+	s.mbufLock.Lock(p)
+	off := mem.VirtAddr(s.mbufSeq * 512 % (16 * 1024))
+	s.mbufSeq++
+	s.mbufLock.Unlock(p)
+	n := payload
+	if n > s.cfg.MbufTouchBytes {
+		n = s.cfg.MbufTouchBytes
+	}
+	if n < 64 {
+		n = 64
+	}
+	p.KTouchRange(s.mbufKVA+off, n, true)
+}
+
+// Listen binds a listener to a port (kernel context).
+func (s *Stack) Listen(p *frontend.Proc, port int) (*Listener, error) {
+	res := p.Call(120, func() any {
+		if _, ok := s.listeners[port]; ok {
+			return fmt.Errorf("netstack: port %d in use", port)
+		}
+		l := &Listener{Port: port}
+		s.listeners[port] = l
+		return l
+	})
+	if err, ok := res.(error); ok {
+		return nil, err
+	}
+	return res.(*Listener), nil
+}
+
+// GetListener returns the existing listener on a port (pre-forked workers
+// attaching the inherited socket).
+func (s *Stack) GetListener(p *frontend.Proc, port int) (*Listener, error) {
+	res := p.Call(80, func() any {
+		if l, ok := s.listeners[port]; ok {
+			return l
+		}
+		return fmt.Errorf("netstack: no listener on port %d", port)
+	})
+	if err, ok := res.(error); ok {
+		return nil, err
+	}
+	return res.(*Listener), nil
+}
+
+// Connect opens a loopback connection from the calling process to a local
+// listener (the connect call in the paper's SPECWeb kernel profile). The
+// two endpoints exchange data through the protocol stack with loopback
+// latency (no wire), which is how multi-tier setups — web frontend talking
+// to a database server — run inside one simulated host.
+func (s *Stack) Connect(p *frontend.Proc, port int) (*Conn, error) {
+	s.chargePacket(p, 64) // SYN path
+	res := p.Call(200, func() any {
+		l, ok := s.listeners[port]
+		if !ok || l.closed {
+			return fmt.Errorf("netstack: connect: no listener on port %d", port)
+		}
+		s.nextLoop++
+		client := &Conn{ID: -(2 * s.nextLoop)}
+		server := &Conn{ID: -(2*s.nextLoop + 1)}
+		client.peer, server.peer = server, client
+		s.conns[client.ID] = client
+		s.conns[server.ID] = server
+		l.acceptQ = append(l.acceptQ, server)
+		s.activity.WakeAllBackend()
+		return client
+	})
+	if err, ok := res.(error); ok {
+		return nil, err
+	}
+	return res.(*Conn), nil
+}
+
+// Naccept blocks until a connection arrives on the listener and returns it
+// (the paper's naccept kernel call).
+func (s *Stack) Naccept(p *frontend.Proc, l *Listener) *Conn {
+	for {
+		res := p.Call(150, func() any {
+			if len(l.acceptQ) > 0 {
+				c := l.acceptQ[0]
+				l.acceptQ = l.acceptQ[1:]
+				s.Accepts++
+				return c
+			}
+			s.activity.SleepBackend(p.ID())
+			return nil
+		})
+		if res != nil {
+			c := res.(*Conn)
+			s.chargePacket(p, 64) // SYN/ACK processing
+			return c
+		}
+	}
+}
+
+// Recv blocks until data (or EOF) is available on the connection and
+// returns the next segment, charging the receive path. A nil result means
+// the peer closed. userVA, when nonzero, charges the copy to user space.
+func (s *Stack) Recv(p *frontend.Proc, c *Conn, userVA mem.VirtAddr) []byte {
+	for {
+		res := p.Call(150, func() any {
+			if len(c.rxQ) > 0 {
+				seg := c.rxQ[0]
+				c.rxQ = c.rxQ[1:]
+				c.rxBytes -= len(seg)
+				return seg
+			}
+			if c.peerClosed || c.closed {
+				return []byte(nil)
+			}
+			s.activity.SleepBackend(p.ID())
+			return nil
+		})
+		if res == nil {
+			continue // woken, recheck
+		}
+		seg := res.([]byte)
+		if seg == nil {
+			return nil // EOF
+		}
+		s.chargePacket(p, len(seg))
+		if userVA != 0 {
+			p.TouchRange(userVA, len(seg), true)
+		}
+		return seg
+	}
+}
+
+// Send transmits data on the connection in MSS-sized packets (kernel
+// context), charging the output path per packet. userVA, when nonzero,
+// charges the copy from user space.
+func (s *Stack) Send(p *frontend.Proc, c *Conn, data []byte, userVA mem.VirtAddr) int {
+	sent := 0
+	for sent < len(data) || (len(data) == 0 && sent == 0) {
+		chunk := len(data) - sent
+		if chunk > s.cfg.MSS {
+			chunk = s.cfg.MSS
+		}
+		payload := data[sent : sent+chunk]
+		if userVA != 0 {
+			p.TouchRange(userVA+mem.VirtAddr(sent), chunk, false)
+		}
+		s.chargePacket(p, chunk)
+		pkt := dev.Packet{Conn: c.ID, Payload: append([]byte(nil), payload...)}
+		p.Call(100, func() any {
+			s.TxPackets++
+			if c.peer != nil {
+				// Loopback: deliver into the peer's receive queue after a
+				// small software latency.
+				s.k.Sim.ScheduleTask(600, "lo-deliver", false, func() {
+					if !c.peer.closed {
+						c.peer.rxQ = append(c.peer.rxQ, pkt.Payload)
+						c.peer.rxBytes += len(pkt.Payload)
+						s.activity.WakeAllBackend()
+					}
+				})
+				return nil
+			}
+			s.nic.Transmit(pkt, s.k.Sim.CurTime())
+			return nil
+		})
+		sent += chunk
+		if len(data) == 0 {
+			break
+		}
+	}
+	return sent
+}
+
+// Close shuts the connection and notifies the peer with a FIN.
+func (s *Stack) Close(p *frontend.Proc, c *Conn) {
+	s.chargePacket(p, 64)
+	p.Call(100, func() any {
+		if !c.closed {
+			c.closed = true
+			delete(s.conns, c.ID)
+			if c.peer != nil {
+				c.peer.peerClosed = true
+				s.activity.WakeAllBackend()
+				return nil
+			}
+			s.nic.Transmit(dev.Packet{Conn: c.ID, Flags: dev.FlagFIN}, s.k.Sim.CurTime())
+		}
+		return nil
+	})
+}
+
+// Selectable is a source Select can wait on.
+type Selectable interface{ readyBackend() bool }
+
+func (c *Conn) readyBackend() bool     { return len(c.rxQ) > 0 || c.peerClosed }
+func (l *Listener) readyBackend() bool { return len(l.acceptQ) > 0 }
+
+// Select blocks until one of the sources is ready and returns its index
+// (the paper's select kernel call; no timeout — the simulated servers use
+// blocking I/O with select for multiplexing only).
+func (s *Stack) Select(p *frontend.Proc, srcs ...Selectable) int {
+	for {
+		res := p.Call(200, func() any {
+			for i, src := range srcs {
+				if src.readyBackend() {
+					return i
+				}
+			}
+			s.activity.SleepBackend(p.ID())
+			return -1
+		})
+		if idx := res.(int); idx >= 0 {
+			return idx
+		}
+	}
+}

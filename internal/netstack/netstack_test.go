@@ -1,0 +1,293 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+
+	"compass/internal/core"
+	"compass/internal/dev"
+	"compass/internal/event"
+	"compass/internal/frontend"
+	"compass/internal/kernel"
+)
+
+type rig struct {
+	sim *core.Sim
+	nic *dev.NIC
+	st  *Stack
+}
+
+func newRig() *rig {
+	cfg := core.DefaultConfig()
+	cfg.CPUs = 2
+	cfg.MemFrames = 2048
+	sim := core.New(cfg)
+	k := kernel.New(sim, kernel.DefaultConfig(), 1<<20)
+	nic := dev.NewNIC(sim, dev.DefaultNICConfig())
+	return &rig{sim: sim, nic: nic, st: New(k, nic, DefaultConfig())}
+}
+
+func syn(conn, port int) dev.Packet {
+	return dev.Packet{Conn: conn, Flags: dev.FlagSYN, Payload: []byte{byte(port >> 8), byte(port)}}
+}
+
+func TestListenAcceptRecv(t *testing.T) {
+	r := newRig()
+	var got []byte
+	r.sim.Spawn("srv", func(p *frontend.Proc) {
+		l, err := r.st.Listen(p, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c := r.st.Naccept(p, l)
+		got = r.st.Recv(p, c, 0)
+	})
+	r.nic.Inject(syn(1, 80), 100)
+	r.nic.Inject(dev.Packet{Conn: 1, Payload: []byte("data")}, 50_000)
+	r.sim.Run()
+	if string(got) != "data" {
+		t.Errorf("recv %q", got)
+	}
+	if r.st.Accepts != 1 {
+		t.Errorf("accepts = %d", r.st.Accepts)
+	}
+}
+
+func TestDoubleListenFails(t *testing.T) {
+	r := newRig()
+	r.sim.Spawn("srv", func(p *frontend.Proc) {
+		if _, err := r.st.Listen(p, 80); err != nil {
+			t.Error(err)
+		}
+		if _, err := r.st.Listen(p, 80); err == nil {
+			t.Error("double listen succeeded")
+		}
+		if _, err := r.st.GetListener(p, 80); err != nil {
+			t.Error("GetListener of bound port failed")
+		}
+		if _, err := r.st.GetListener(p, 99); err == nil {
+			t.Error("GetListener of unbound port succeeded")
+		}
+	})
+	r.sim.Run()
+}
+
+func TestSynToUnboundPortDropped(t *testing.T) {
+	r := newRig()
+	r.nic.Inject(syn(5, 9999), 10)
+	r.sim.Run()
+	if r.st.Drops != 1 {
+		t.Errorf("drops = %d, want 1", r.st.Drops)
+	}
+}
+
+func TestDataForUnknownConnDropped(t *testing.T) {
+	r := newRig()
+	r.nic.Inject(dev.Packet{Conn: 77, Payload: []byte("stray")}, 10)
+	r.sim.Run()
+	if r.st.Drops != 1 {
+		t.Errorf("drops = %d", r.st.Drops)
+	}
+}
+
+func TestSendSplitsAtMSS(t *testing.T) {
+	r := newRig()
+	var rx [][]byte
+	r.nic.OnTransmit = func(pkt dev.Packet, _ event.Cycle) {
+		if pkt.Flags == 0 {
+			rx = append(rx, pkt.Payload)
+		}
+	}
+	payload := bytes.Repeat([]byte{7}, 4000) // MSS 1460 → 3 packets
+	r.sim.Spawn("srv", func(p *frontend.Proc) {
+		l, _ := r.st.Listen(p, 80)
+		c := r.st.Naccept(p, l)
+		if n := r.st.Send(p, c, payload, 0); n != 4000 {
+			t.Errorf("sent %d", n)
+		}
+	})
+	r.nic.Inject(syn(2, 80), 100)
+	r.sim.Run()
+	if len(rx) != 3 {
+		t.Fatalf("%d packets, want 3", len(rx))
+	}
+	var joined []byte
+	for _, seg := range rx {
+		joined = append(joined, seg...)
+	}
+	if !bytes.Equal(joined, payload) {
+		t.Error("reassembled payload mismatch")
+	}
+}
+
+func TestRecvEOFAfterFIN(t *testing.T) {
+	r := newRig()
+	var segs [][]byte
+	r.sim.Spawn("srv", func(p *frontend.Proc) {
+		l, _ := r.st.Listen(p, 80)
+		c := r.st.Naccept(p, l)
+		for {
+			seg := r.st.Recv(p, c, 0)
+			if seg == nil {
+				break
+			}
+			segs = append(segs, seg)
+		}
+	})
+	r.nic.Inject(syn(3, 80), 100)
+	r.nic.Inject(dev.Packet{Conn: 3, Payload: []byte("a")}, 20_000)
+	r.nic.Inject(dev.Packet{Conn: 3, Payload: []byte("b")}, 40_000)
+	r.nic.Inject(dev.Packet{Conn: 3, Flags: dev.FlagFIN}, 60_000)
+	r.sim.Run()
+	if len(segs) != 2 || string(segs[0]) != "a" || string(segs[1]) != "b" {
+		t.Errorf("segs = %q", segs)
+	}
+}
+
+func TestCloseSendsFIN(t *testing.T) {
+	r := newRig()
+	finSeen := false
+	r.nic.OnTransmit = func(pkt dev.Packet, _ event.Cycle) {
+		if pkt.Flags&dev.FlagFIN != 0 {
+			finSeen = true
+		}
+	}
+	r.sim.Spawn("srv", func(p *frontend.Proc) {
+		l, _ := r.st.Listen(p, 80)
+		c := r.st.Naccept(p, l)
+		r.st.Close(p, c)
+	})
+	r.nic.Inject(syn(4, 80), 100)
+	r.sim.Run()
+	if !finSeen {
+		t.Error("close did not emit FIN")
+	}
+}
+
+func TestSelectOverMultipleSources(t *testing.T) {
+	r := newRig()
+	order := []int{}
+	r.sim.Spawn("srv", func(p *frontend.Proc) {
+		l, _ := r.st.Listen(p, 80)
+		c1 := r.st.Naccept(p, l)
+		c2 := r.st.Naccept(p, l)
+		// Data arrives on c2 first, then c1.
+		idx := r.st.Select(p, c1, c2)
+		order = append(order, idx)
+		r.st.Recv(p, []*Conn{c1, c2}[idx], 0)
+		idx2 := r.st.Select(p, c1, c2)
+		order = append(order, idx2)
+	})
+	r.nic.Inject(syn(10, 80), 100)
+	r.nic.Inject(syn(11, 80), 5_000)
+	r.nic.Inject(dev.Packet{Conn: 11, Payload: []byte("x")}, 200_000)
+	r.nic.Inject(dev.Packet{Conn: 10, Payload: []byte("y")}, 400_000)
+	r.sim.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Errorf("select order %v, want [1 0]", order)
+	}
+}
+
+func TestMultipleAcceptorsShareListener(t *testing.T) {
+	r := newRig()
+	served := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		r.sim.Spawn("w", func(p *frontend.Proc) {
+			var l *Listener
+			var err error
+			if l, err = r.st.Listen(p, 80); err != nil {
+				if l, err = r.st.GetListener(p, 80); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			c := r.st.Naccept(p, l)
+			seg := r.st.Recv(p, c, 0)
+			served[i] = len(seg)
+		})
+	}
+	for conn := 20; conn < 22; conn++ {
+		r.nic.Inject(syn(conn, 80), event.Cycle(1000*conn))
+		r.nic.Inject(dev.Packet{Conn: conn, Payload: []byte("zz")}, event.Cycle(300_000+1000*conn))
+	}
+	r.sim.Run()
+	if served[0] != 2 || served[1] != 2 {
+		t.Errorf("served = %v", served)
+	}
+}
+
+func TestLoopbackConnect(t *testing.T) {
+	r := newRig()
+	var serverSaw, clientSaw []byte
+	r.sim.Spawn("server", func(p *frontend.Proc) {
+		l, _ := r.st.Listen(p, 5432)
+		c := r.st.Naccept(p, l)
+		serverSaw = r.st.Recv(p, c, 0)
+		r.st.Send(p, c, []byte("row data"), 0)
+		for r.st.Recv(p, c, 0) != nil {
+		}
+		r.st.Close(p, c)
+	})
+	r.sim.Spawn("client", func(p *frontend.Proc) {
+		// Retry until the server has bound the port.
+		var c *Conn
+		for {
+			var err error
+			if c, err = r.st.Connect(p, 5432); err == nil {
+				break
+			}
+			p.ComputeCycles(5000)
+			p.Yield()
+		}
+		r.st.Send(p, c, []byte("SELECT 1"), 0)
+		clientSaw = r.st.Recv(p, c, 0)
+		r.st.Close(p, c)
+	})
+	r.sim.Run()
+	if string(serverSaw) != "SELECT 1" {
+		t.Errorf("server saw %q", serverSaw)
+	}
+	if string(clientSaw) != "row data" {
+		t.Errorf("client saw %q", clientSaw)
+	}
+}
+
+func TestConnectToUnboundPortFails(t *testing.T) {
+	r := newRig()
+	r.sim.Spawn("c", func(p *frontend.Proc) {
+		if _, err := r.st.Connect(p, 1); err == nil {
+			t.Error("connect to unbound port succeeded")
+		}
+	})
+	r.sim.Run()
+}
+
+func TestLoopbackCloseGivesPeerEOF(t *testing.T) {
+	r := newRig()
+	gotEOF := false
+	r.sim.Spawn("server", func(p *frontend.Proc) {
+		l, _ := r.st.Listen(p, 7000)
+		c := r.st.Naccept(p, l)
+		if r.st.Recv(p, c, 0) == nil {
+			gotEOF = true
+		}
+	})
+	r.sim.Spawn("client", func(p *frontend.Proc) {
+		var c *Conn
+		for {
+			var err error
+			if c, err = r.st.Connect(p, 7000); err == nil {
+				break
+			}
+			p.ComputeCycles(5000)
+			p.Yield()
+		}
+		r.st.Close(p, c)
+	})
+	r.sim.Run()
+	if !gotEOF {
+		t.Error("peer close did not surface as EOF")
+	}
+}

@@ -1,0 +1,115 @@
+// Package noc models the point-to-point interconnection network of the
+// paper's complex backend: a 2D mesh of nodes with per-link latency and
+// occupancy-based contention, used by the CC-NUMA directory protocol, the
+// COMA attraction-memory model and the software-DSM page transport.
+package noc
+
+import (
+	"fmt"
+
+	"compass/internal/event"
+)
+
+// Config describes the network.
+type Config struct {
+	Nodes      int         // number of nodes
+	HopLatency event.Cycle // router + wire latency per hop
+	FlitBytes  int         // bytes transferred per link cycle
+	InjectCost event.Cycle // fixed cost to enter/exit the network
+}
+
+// DefaultConfig is a modest 1998-era mesh: 8-cycle hops, 8-byte links.
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes, HopLatency: 8, FlitBytes: 8, InjectCost: 4}
+}
+
+// Network is a 2D mesh (as square as possible) with one occupancy resource
+// per node's injection and ejection port. Link-level contention is
+// approximated at the endpoints, which captures hot-spot behaviour without
+// per-hop queue simulation.
+type Network struct {
+	cfg    Config
+	width  int
+	inject []*event.Resource
+	eject  []*event.Resource
+
+	Messages uint64
+	Bytes    uint64
+	HopsSum  uint64
+}
+
+// New builds the network.
+func New(cfg Config) *Network {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.FlitBytes <= 0 {
+		cfg.FlitBytes = 8
+	}
+	w := 1
+	for w*w < cfg.Nodes {
+		w++
+	}
+	n := &Network{cfg: cfg, width: w}
+	for i := 0; i < cfg.Nodes; i++ {
+		n.inject = append(n.inject, event.NewResource(fmt.Sprintf("noc.inject%d", i)))
+		n.eject = append(n.eject, event.NewResource(fmt.Sprintf("noc.eject%d", i)))
+	}
+	return n
+}
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// Hops returns the Manhattan distance between two nodes on the mesh.
+func (n *Network) Hops(from, to int) int {
+	if from == to {
+		return 0
+	}
+	fx, fy := from%n.width, from/n.width
+	tx, ty := to%n.width, to/n.width
+	dx, dy := fx-tx, fy-ty
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Send models a message of size bytes from node `from` to node `to`,
+// issued at cycle now, and returns the arrival cycle. Same-node sends are
+// free (the protocol layer should normally special-case them anyway).
+func (n *Network) Send(now event.Cycle, from, to, size int) event.Cycle {
+	if from == to {
+		return now
+	}
+	hops := n.Hops(from, to)
+	flits := (size + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes
+	if flits < 1 {
+		flits = 1
+	}
+	serial := event.Cycle(flits) // pipeline: one flit per cycle per link
+	t := n.inject[from].Acquire(now, serial)
+	t += n.cfg.InjectCost + n.cfg.HopLatency*event.Cycle(hops)
+	t = n.eject[to].Acquire(t, serial)
+	n.Messages++
+	n.Bytes += uint64(size)
+	n.HopsSum += uint64(hops)
+	return t
+}
+
+// RoundTrip models a request of reqSize and a reply of respSize.
+func (n *Network) RoundTrip(now event.Cycle, from, to, reqSize, respSize int) event.Cycle {
+	t := n.Send(now, from, to, reqSize)
+	return n.Send(t, to, from, respSize)
+}
+
+// MeanHops returns the average hop count over all messages sent.
+func (n *Network) MeanHops() float64 {
+	if n.Messages == 0 {
+		return 0
+	}
+	return float64(n.HopsSum) / float64(n.Messages)
+}

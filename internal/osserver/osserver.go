@@ -1,0 +1,865 @@
+// Package osserver implements the paper's OS server (§3.1): the user-mode,
+// multi-threaded program that simulates category-1 OS functions. Each
+// simulated process pairs with an OS thread ("single" → "paired"); the
+// thread owns the process's file descriptor table and dispatches its system
+// calls to the kernel services (fs, netstack, shm/VM), running instrumented
+// kernel code whose memory references flow through the process's own event
+// port — so kernel time and kernel cache behaviour land on the right CPU.
+package osserver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"compass/internal/dev"
+	"compass/internal/event"
+	"compass/internal/frontend"
+	"compass/internal/fs"
+	"compass/internal/kernel"
+	"compass/internal/mem"
+	"compass/internal/netstack"
+	"compass/internal/stats"
+)
+
+// Server is the OS server instance.
+type Server struct {
+	K            *kernel.Kernel
+	FS           *fs.FS
+	Net          *netstack.Stack
+	Disk         *dev.Disk
+	NIC          *dev.NIC
+	RTC          *dev.RTC
+	CyclesPerSec uint64
+
+	paired     int
+	peakPaired int
+
+	sems map[int]*kernel.Semaphore
+
+	// threads collects every paired OS thread so per-syscall kernel-time
+	// profiles can be merged after the run (each thread's map is touched
+	// only by its own process's goroutine).
+	threads []*OSThread
+}
+
+// Machine bundles the devices an OS server drives.
+type Machine struct {
+	Disk *dev.Disk
+	NIC  *dev.NIC
+	RTC  *dev.RTC
+}
+
+// New builds an OS server over a kernel, filesystem, network stack and
+// devices (setup context). Any of fs/net may be nil when a workload does
+// not need them.
+func New(k *kernel.Kernel, filesys *fs.FS, net *netstack.Stack, m Machine) *Server {
+	return &Server{
+		K: k, FS: filesys, Net: net,
+		Disk: m.Disk, NIC: m.NIC, RTC: m.RTC,
+		CyclesPerSec: 100_000_000, // 100 MHz PowerPC-era core
+		sems:         make(map[int]*kernel.Semaphore),
+	}
+}
+
+// OSThread is the paired OS thread serving one process: its state is the
+// per-process kernel context (fd table, mmap regions).
+type OSThread struct {
+	srv   *Server
+	proc  *frontend.Proc
+	fds   []*fd
+	mmaps map[mem.VirtAddr]*mmapRegion
+	// sysCycles attributes kernel-mode cycles to the syscall that spent
+	// them — the per-call breakdown behind the paper's Table-1 analysis
+	// ("about 42% is spent in a handful of OS calls, such as kwritev,
+	// kreadv, select, statx, connect, open, close, naccept and send").
+	sysCycles map[string]uint64
+	sysCalls  map[string]uint64
+}
+
+type fdKind int
+
+const (
+	fdFile fdKind = iota
+	fdSock
+	fdListen
+	fdPipeR
+	fdPipeW
+)
+
+type fd struct {
+	kind   fdKind
+	ino    *fs.Inode
+	off    int64
+	conn   *netstack.Conn
+	listen *netstack.Listener
+	pipe   *kernel.Pipe
+	open   bool
+}
+
+type mmapRegion struct {
+	base mem.VirtAddr
+	size uint32
+	ino  *fs.Inode
+	off  int64
+}
+
+// Connect pairs a fresh OS thread with the process (the OS-port connection
+// request of §3.1), installs the page-fault handler, and stores the handle
+// in p.OS.
+func (s *Server) Connect(p *frontend.Proc) *OSThread {
+	t := &OSThread{
+		srv: s, proc: p,
+		mmaps:     make(map[mem.VirtAddr]*mmapRegion),
+		sysCycles: make(map[string]uint64),
+		sysCalls:  make(map[string]uint64),
+	}
+	p.OS = t
+	p.SetFaultHandler(t.handleFault)
+	s.paired++
+	if s.paired > s.peakPaired {
+		s.peakPaired = s.paired
+	}
+	s.threads = append(s.threads, t)
+	return t
+}
+
+// enter begins a named system call and returns the closer that attributes
+// the kernel cycles it consumed. Usage: defer t.enter("kreadv")().
+func (t *OSThread) enter(name string) func() {
+	p := t.proc
+	t.srv.K.Enter(p)
+	before := p.Account().Cycles(stats.ModeKernel)
+	return func() {
+		t.srv.K.Exit(p)
+		t.sysCycles[name] += p.Account().Cycles(stats.ModeKernel) - before
+		t.sysCalls[name]++
+	}
+}
+
+// SyscallProfile merges every thread's per-call kernel cycles. Call after
+// the simulation has finished.
+func (s *Server) SyscallProfile() (cycles, calls map[string]uint64) {
+	cycles = make(map[string]uint64)
+	calls = make(map[string]uint64)
+	for _, t := range s.threads {
+		for k, v := range t.sysCycles {
+			cycles[k] += v
+		}
+		for k, v := range t.sysCalls {
+			calls[k] += v
+		}
+	}
+	return cycles, calls
+}
+
+// FormatSyscallProfile renders the top kernel calls by cycles, like the
+// paper's breakdown of the 47.3% SPECWeb kernel share.
+func (s *Server) FormatSyscallProfile(top int) string {
+	cycles, calls := s.SyscallProfile()
+	type row struct {
+		name   string
+		cycles uint64
+	}
+	var rows []row
+	var total uint64
+	for k, v := range cycles {
+		rows = append(rows, row{k, v})
+		total += v
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cycles != rows[j].cycles {
+			return rows[i].cycles > rows[j].cycles
+		}
+		return rows[i].name < rows[j].name
+	})
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %14s %8s %7s\n", "kernel call", "cycles", "calls", "share")
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.cycles) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-12s %14d %8d %6.1f%%\n", r.name, r.cycles, calls[r.name], share)
+	}
+	return b.String()
+}
+
+// For returns the OS thread paired with p.
+func For(p *frontend.Proc) *OSThread {
+	t, ok := p.OS.(*OSThread)
+	if !ok {
+		panic(fmt.Sprintf("osserver: proc %d not connected", p.ID()))
+	}
+	return t
+}
+
+// Disconnect returns the thread to the "single" state (process exit).
+func (t *OSThread) Disconnect() { t.srv.paired-- }
+
+func (t *OSThread) newFD(f *fd) int {
+	for i, e := range t.fds {
+		if e == nil || !e.open {
+			t.fds[i] = f
+			return i
+		}
+	}
+	t.fds = append(t.fds, f)
+	return len(t.fds) - 1
+}
+
+func (t *OSThread) fd(n int) (*fd, error) {
+	if n < 0 || n >= len(t.fds) || t.fds[n] == nil || !t.fds[n].open {
+		return nil, fmt.Errorf("osserver: bad fd %d", n)
+	}
+	return t.fds[n], nil
+}
+
+// --- File system calls -------------------------------------------------------
+
+// Open opens an existing file and returns a descriptor.
+func (t *OSThread) Open(name string) (int, error) {
+	p := t.proc
+	defer t.enter("open")()
+	ino, err := t.srv.FS.Lookup(p, name)
+	if err != nil {
+		return -1, err
+	}
+	return t.newFD(&fd{kind: fdFile, ino: ino, open: true}), nil
+}
+
+// Creat creates a file and opens it.
+func (t *OSThread) Creat(name string) (int, error) {
+	p := t.proc
+	defer t.enter("creat")()
+	ino, err := t.srv.FS.Create(p, name)
+	if err != nil {
+		return -1, err
+	}
+	return t.newFD(&fd{kind: fdFile, ino: ino, open: true}), nil
+}
+
+// Close closes a descriptor of any kind.
+func (t *OSThread) Close(n int) error {
+	p := t.proc
+	defer t.enter("close")()
+	f, err := t.fd(n)
+	if err != nil {
+		return err
+	}
+	f.open = false
+	switch {
+	case f.kind == fdSock && f.conn != nil:
+		t.srv.Net.Close(p, f.conn)
+	case f.kind == fdPipeR:
+		f.pipe.CloseRead(p)
+	case f.kind == fdPipeW:
+		f.pipe.CloseWrite(p)
+	}
+	return nil
+}
+
+// Read reads up to n bytes at the descriptor's offset into dst (dst may be
+// nil for traffic-only reads). userVA charges the user-side copy target.
+func (t *OSThread) Read(fdn int, dst []byte, n int, userVA mem.VirtAddr) (int, error) {
+	p := t.proc
+	defer t.enter("kreadv")()
+	f, err := t.fd(fdn)
+	if err != nil {
+		return 0, err
+	}
+	if f.kind != fdFile {
+		return 0, fmt.Errorf("osserver: fd %d is not a file", fdn)
+	}
+	got, err := t.srv.FS.ReadAt(p, f.ino, f.off, n, dst, userVA)
+	f.off += int64(got)
+	return got, err
+}
+
+// Write writes src (or n anonymous bytes) at the descriptor's offset.
+func (t *OSThread) Write(fdn int, src []byte, n int, userVA mem.VirtAddr) (int, error) {
+	p := t.proc
+	defer t.enter("kwritev")()
+	f, err := t.fd(fdn)
+	if err != nil {
+		return 0, err
+	}
+	if f.kind != fdFile {
+		return 0, fmt.Errorf("osserver: fd %d is not a file", fdn)
+	}
+	put, err := t.srv.FS.WriteAt(p, f.ino, f.off, n, src, userVA)
+	f.off += int64(put)
+	return put, err
+}
+
+// IOVec is one element of a kreadv/kwritev scatter-gather list.
+type IOVec struct {
+	UserVA mem.VirtAddr
+	Len    int
+}
+
+// Kreadv is the vectored read the DB2 workloads spend kernel time in.
+func (t *OSThread) Kreadv(fdn int, iov []IOVec) (int, error) {
+	total := 0
+	for _, v := range iov {
+		got, err := t.Read(fdn, nil, v.Len, v.UserVA)
+		total += got
+		if err != nil {
+			return total, err
+		}
+		if got < v.Len {
+			break
+		}
+	}
+	return total, nil
+}
+
+// Kwritev is the vectored write.
+func (t *OSThread) Kwritev(fdn int, iov []IOVec) (int, error) {
+	total := 0
+	for _, v := range iov {
+		put, err := t.Write(fdn, nil, v.Len, v.UserVA)
+		total += put
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Lseek repositions the descriptor offset (whence 0=set, 1=cur, 2=end).
+func (t *OSThread) Lseek(fdn int, off int64, whence int) (int64, error) {
+	p := t.proc
+	defer t.enter("lseek")()
+	f, err := t.fd(fdn)
+	if err != nil {
+		return 0, err
+	}
+	switch whence {
+	case 0:
+		f.off = off
+	case 1:
+		f.off += off
+	case 2:
+		f.off = t.srv.FS.Stat(p, f.ino) + off
+	default:
+		return 0, fmt.Errorf("osserver: bad whence %d", whence)
+	}
+	return f.off, nil
+}
+
+// Statx returns the file size (the statx call in the SPECWeb profile).
+func (t *OSThread) Statx(name string) (int64, error) {
+	p := t.proc
+	defer t.enter("statx")()
+	ino, err := t.srv.FS.Lookup(p, name)
+	if err != nil {
+		return 0, err
+	}
+	return t.srv.FS.Stat(p, ino), nil
+}
+
+// Fsync flushes the file's dirty blocks.
+func (t *OSThread) Fsync(fdn int) error {
+	p := t.proc
+	defer t.enter("fsync")()
+	f, err := t.fd(fdn)
+	if err != nil {
+		return err
+	}
+	t.srv.FS.Fsync(p, f.ino)
+	return nil
+}
+
+// --- Memory calls ------------------------------------------------------------
+
+// Sbrk grows the process heap.
+func (t *OSThread) Sbrk(size uint32) mem.VirtAddr {
+	p := t.proc
+	defer t.enter("sbrk")()
+	res := p.Call(80, func() any {
+		va, err := t.srv.K.Sim.Sbrk(p.ID(), size)
+		if err != nil {
+			panic(err)
+		}
+		return va
+	})
+	return res.(mem.VirtAddr)
+}
+
+// ShmGet implements shmget.
+func (t *OSThread) ShmGet(key int, size uint32) (int, error) {
+	p := t.proc
+	defer t.enter("shmget")()
+	res := p.Call(150, func() any {
+		id, err := t.srv.K.Sim.ShmGet(key, size, true)
+		if err != nil {
+			return err
+		}
+		return id
+	})
+	if err, ok := res.(error); ok {
+		return -1, err
+	}
+	return res.(int), nil
+}
+
+// ShmAt implements shmat.
+func (t *OSThread) ShmAt(id int) (mem.VirtAddr, error) {
+	p := t.proc
+	defer t.enter("shmat")()
+	res := p.Call(200, func() any {
+		va, err := t.srv.K.Sim.ShmAttach(p.ID(), id)
+		if err != nil {
+			return err
+		}
+		return va
+	})
+	if err, ok := res.(error); ok {
+		return 0, err
+	}
+	return res.(mem.VirtAddr), nil
+}
+
+// ShmDt implements shmdt.
+func (t *OSThread) ShmDt(base mem.VirtAddr) error {
+	p := t.proc
+	defer t.enter("shmdt")()
+	res := p.Call(200, func() any {
+		return t.srv.K.Sim.ShmDetach(p.ID(), base)
+	})
+	if err, ok := res.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Mmap maps size bytes of an open file at its current offset, lazily: the
+// first touch of each page takes a precise trap (§3.2) that pages the
+// block in through the buffer cache.
+func (t *OSThread) Mmap(fdn int, size uint32) (mem.VirtAddr, error) {
+	p := t.proc
+	defer t.enter("mmap")()
+	f, err := t.fd(fdn)
+	if err != nil {
+		return 0, err
+	}
+	off := f.off
+	res := p.Call(250, func() any {
+		va, err := t.srv.K.Sim.MapFileRegion(p.ID(), size, f.ino.ID, off, mem.ProtRead|mem.ProtWrite)
+		if err != nil {
+			return err
+		}
+		return va
+	})
+	if err, ok := res.(error); ok {
+		return 0, err
+	}
+	base := res.(mem.VirtAddr)
+	t.mmaps[base] = &mmapRegion{base: base, size: size, ino: f.ino, off: off}
+	return base, nil
+}
+
+// Msync writes the region's dirty pages back through the filesystem.
+func (t *OSThread) Msync(base mem.VirtAddr) error {
+	p := t.proc
+	defer t.enter("msync")()
+	reg, ok := t.mmaps[base]
+	if !ok {
+		return fmt.Errorf("osserver: msync of unmapped base %#x", uint32(base))
+	}
+	type dpage struct {
+		fileOff int64
+	}
+	res := p.Call(150, func() any {
+		sp := t.srv.K.Sim.ProcSpace(p.ID())
+		var dirty []dpage
+		for pg := uint32(0); pg < (reg.size+mem.PageMask)>>mem.PageShift; pg++ {
+			va := reg.base + mem.VirtAddr(pg*mem.PageSize)
+			if pte := sp.Lookup(va); pte != nil && pte.Present && pte.Dirty {
+				pte.Dirty = false
+				dirty = append(dirty, dpage{fileOff: pte.FileOff})
+			}
+		}
+		return dirty
+	})
+	for _, d := range res.([]dpage) {
+		if _, err := t.srv.FS.WriteAt(p, reg.ino, d.fileOff, mem.PageSize, nil, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Munmap syncs and removes the region.
+func (t *OSThread) Munmap(base mem.VirtAddr) error {
+	if err := t.Msync(base); err != nil {
+		return err
+	}
+	p := t.proc
+	t.srv.K.Enter(p)
+	defer t.srv.K.Exit(p)
+	reg := t.mmaps[base]
+	delete(t.mmaps, base)
+	p.Call(200, func() any {
+		t.srv.K.Sim.UnmapRegion(p.ID(), reg.base, reg.size)
+		return nil
+	})
+	return nil
+}
+
+// handleFault is the precise page-fault trap path: page the file block in
+// through the buffer cache (possibly blocking on disk), then attach a
+// frame. Runs in kernel mode on the faulting process (§3.2).
+func (t *OSThread) handleFault(p *frontend.Proc, flt *mem.Fault) {
+	srv := t.srv
+	// Identify the backing file and offset from the PTE.
+	res := p.Call(120, func() any {
+		pte := srv.K.Sim.ProcSpace(p.ID()).Lookup(flt.Addr)
+		if pte == nil {
+			return fmt.Errorf("osserver: fault on unmapped %#x", uint32(flt.Addr))
+		}
+		if pte.Present {
+			return nil // raced with another fault handler; done
+		}
+		if pte.FileID < 0 {
+			return fmt.Errorf("osserver: fault on anonymous non-present page %#x", uint32(flt.Addr))
+		}
+		return &mmapFaultInfo{fileID: pte.FileID, fileOff: pte.FileOff}
+	})
+	switch info := res.(type) {
+	case nil:
+		return
+	case error:
+		panic(info)
+	case *mmapFaultInfo:
+		// Bring the block into the buffer cache (charges the disk I/O and
+		// kernel copies), then attach a frame to the page.
+		ino := srv.FS.InodeByID(info.fileID)
+		if _, err := srv.FS.ReadAt(p, ino, info.fileOff, mem.PageSize, nil, 0); err != nil && info.fileOff < 1<<62 {
+			// Reading past EOF is fine (sparse tail); other errors are not.
+			_ = err
+		}
+		p.Call(300, func() any {
+			if _, err := srv.K.Sim.ResolvePresentFault(p.ID(), flt); err != nil {
+				panic(err)
+			}
+			return nil
+		})
+	}
+}
+
+type mmapFaultInfo struct {
+	fileID  int
+	fileOff int64
+}
+
+// --- Network calls -----------------------------------------------------------
+
+// Listen opens a listening socket on a port.
+func (t *OSThread) Listen(port int) (int, error) {
+	p := t.proc
+	defer t.enter("listen")()
+	l, err := t.srv.Net.Listen(p, port)
+	if err != nil {
+		return -1, err
+	}
+	return t.newFD(&fd{kind: fdListen, listen: l, open: true}), nil
+}
+
+// AttachListener wraps an already-bound port in a new descriptor (the
+// pre-fork model: workers inherit the parent's listening socket).
+func (t *OSThread) AttachListener(port int) (int, error) {
+	p := t.proc
+	defer t.enter("listen")()
+	l, err := t.srv.Net.GetListener(p, port)
+	if err != nil {
+		return -1, err
+	}
+	return t.newFD(&fd{kind: fdListen, listen: l, open: true}), nil
+}
+
+// Connect opens a loopback connection to a local port and returns its
+// descriptor (the paper's connect kernel call).
+func (t *OSThread) Connect(port int) (int, error) {
+	p := t.proc
+	defer t.enter("connect")()
+	c, err := t.srv.Net.Connect(p, port)
+	if err != nil {
+		return -1, err
+	}
+	return t.newFD(&fd{kind: fdSock, conn: c, open: true}), nil
+}
+
+// Naccept blocks for a connection and returns its descriptor.
+func (t *OSThread) Naccept(listenFD int) (int, error) {
+	p := t.proc
+	defer t.enter("naccept")()
+	f, err := t.fd(listenFD)
+	if err != nil {
+		return -1, err
+	}
+	if f.kind != fdListen {
+		return -1, fmt.Errorf("osserver: fd %d is not listening", listenFD)
+	}
+	c := t.srv.Net.Naccept(p, f.listen)
+	return t.newFD(&fd{kind: fdSock, conn: c, open: true}), nil
+}
+
+// Recv blocks for the next segment on a socket (nil = peer closed).
+func (t *OSThread) Recv(sockFD int, userVA mem.VirtAddr) ([]byte, error) {
+	p := t.proc
+	defer t.enter("krecv")()
+	f, err := t.fd(sockFD)
+	if err != nil {
+		return nil, err
+	}
+	if f.kind != fdSock {
+		return nil, fmt.Errorf("osserver: fd %d is not a socket", sockFD)
+	}
+	return t.srv.Net.Recv(p, f.conn, userVA), nil
+}
+
+// Send transmits data on a socket.
+func (t *OSThread) Send(sockFD int, data []byte, userVA mem.VirtAddr) (int, error) {
+	p := t.proc
+	defer t.enter("send")()
+	f, err := t.fd(sockFD)
+	if err != nil {
+		return 0, err
+	}
+	if f.kind != fdSock {
+		return 0, fmt.Errorf("osserver: fd %d is not a socket", sockFD)
+	}
+	return t.srv.Net.Send(p, f.conn, data, userVA), nil
+}
+
+// SendFile streams an open file down a socket in block-sized chunks — the
+// web server's response path (read + send per chunk, like Apache's
+// buffered loop).
+func (t *OSThread) SendFile(sockFD, fileFD int) (int, error) {
+	p := t.proc
+	f, size, err := func() (*fd, int64, error) {
+		t.srv.K.Enter(p)
+		defer t.srv.K.Exit(p)
+		ff, err := t.fd(fileFD)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ff, t.srv.FS.Stat(p, ff.ino), nil
+	}()
+	if err != nil {
+		return 0, err
+	}
+	_ = f
+	total := 0
+	for int64(total) < size {
+		chunk := 4096
+		if int64(total+chunk) > size {
+			chunk = int(size - int64(total))
+		}
+		if _, err := t.Read(fileFD, nil, chunk, 0); err != nil {
+			return total, err
+		}
+		if _, err := t.Send(sockFD, make([]byte, chunk), 0); err != nil {
+			return total, err
+		}
+		total += chunk
+	}
+	return total, nil
+}
+
+// Select blocks until one of the given descriptors is readable and returns
+// its position in the list.
+func (t *OSThread) Select(fds ...int) (int, error) {
+	p := t.proc
+	defer t.enter("select")()
+	srcs := make([]netstack.Selectable, 0, len(fds))
+	for _, n := range fds {
+		f, err := t.fd(n)
+		if err != nil {
+			return -1, err
+		}
+		switch f.kind {
+		case fdSock:
+			srcs = append(srcs, f.conn)
+		case fdListen:
+			srcs = append(srcs, f.listen)
+		default:
+			return -1, fmt.Errorf("osserver: select on non-socket fd %d", n)
+		}
+	}
+	return t.srv.Net.Select(p, srcs...), nil
+}
+
+// --- Time and process calls --------------------------------------------------
+
+// GetTime returns simulated wall-clock seconds (real-time clock device).
+func (t *OSThread) GetTime() float64 {
+	p := t.proc
+	defer t.enter("gettimer")()
+	p.ComputeCycles(120)
+	return float64(p.Now()) / float64(t.srv.CyclesPerSec)
+}
+
+// Pipe creates a pipe and returns its (read, write) descriptors — the
+// pipe(2) of §1's inter-process communication. Pass the read fd to a
+// forked child (via SendFD-style plumbing at the workload level) or use
+// both ends from related processes.
+func (t *OSThread) Pipe(capacity int) (int, int) {
+	p := t.proc
+	defer t.enter("pipe")()
+	pp := t.srv.K.NewPipeRuntime(p, "pipe", capacity)
+	r := t.newFD(&fd{kind: fdPipeR, pipe: pp, open: true})
+	w := t.newFD(&fd{kind: fdPipeW, pipe: pp, open: true})
+	return r, w
+}
+
+// PipeHandle exposes the kernel pipe behind a descriptor so a related
+// process (a forked child) can adopt it.
+func (t *OSThread) PipeHandle(fdn int) (*kernel.Pipe, error) {
+	f, err := t.fd(fdn)
+	if err != nil {
+		return nil, err
+	}
+	if f.pipe == nil {
+		return nil, fmt.Errorf("osserver: fd %d is not a pipe", fdn)
+	}
+	return f.pipe, nil
+}
+
+// AdoptPipe wraps an existing kernel pipe end in this process's fd table
+// (the fork-inheritance path; readEnd selects which end).
+func (t *OSThread) AdoptPipe(pp *kernel.Pipe, readEnd bool) int {
+	kind := fdPipeW
+	if readEnd {
+		kind = fdPipeR
+	}
+	return t.newFD(&fd{kind: kind, pipe: pp, open: true})
+}
+
+// PipeRead reads up to max bytes from a pipe descriptor (nil = EOF).
+func (t *OSThread) PipeRead(fdn, max int) ([]byte, error) {
+	p := t.proc
+	defer t.enter("kreadv")()
+	f, err := t.fd(fdn)
+	if err != nil {
+		return nil, err
+	}
+	if f.kind != fdPipeR {
+		return nil, fmt.Errorf("osserver: fd %d is not a pipe read end", fdn)
+	}
+	return f.pipe.Read(p, max), nil
+}
+
+// PipeWrite writes data into a pipe descriptor.
+func (t *OSThread) PipeWrite(fdn int, data []byte) (int, error) {
+	p := t.proc
+	defer t.enter("kwritev")()
+	f, err := t.fd(fdn)
+	if err != nil {
+		return 0, err
+	}
+	if f.kind != fdPipeW {
+		return 0, fmt.Errorf("osserver: fd %d is not a pipe write end", fdn)
+	}
+	return f.pipe.Write(p, data), nil
+}
+
+// SemGet returns (creating on first use) the System-V-style semaphore with
+// the given key, initialized to initial. The semaphore blocks in the
+// kernel — the "sophisticated inter-process communication" of §1 that
+// scientific benchmarks never exercise.
+func (t *OSThread) SemGet(key, initial int) int {
+	p := t.proc
+	defer t.enter("semget")()
+	p.Call(120, func() any {
+		if _, ok := t.srv.sems[key]; !ok {
+			t.srv.sems[key] = t.srv.K.NewSemaphore(fmt.Sprintf("sem%d", key), initial)
+		}
+		return nil
+	})
+	return key
+}
+
+// sem resolves a semaphore key in backend context (the map is backend-owned).
+func (t *OSThread) sem(key int) *kernel.Semaphore {
+	s := t.proc.Call(40, func() any {
+		if sem, ok := t.srv.sems[key]; ok {
+			return sem
+		}
+		return nil
+	})
+	if s == nil {
+		panic(fmt.Sprintf("osserver: semaphore %d not created", key))
+	}
+	return s.(*kernel.Semaphore)
+}
+
+// SemP performs the P (down/wait) operation, blocking while the count is
+// zero (§3.3.3 blocking OS call).
+func (t *OSThread) SemP(key int) {
+	p := t.proc
+	defer t.enter("semop")()
+	t.sem(key).P(p)
+}
+
+// SemV performs the V (up/post) operation.
+func (t *OSThread) SemV(key int) {
+	p := t.proc
+	defer t.enter("semop")()
+	t.sem(key).V(p)
+}
+
+// SleepCycles blocks the process for n cycles using the timer (a blocking
+// OS call, §3.3.3). A daemon process's sleep does not keep the simulation
+// alive.
+func (t *OSThread) SleepCycles(n uint64) {
+	p := t.proc
+	defer t.enter("nanosleep")()
+	p.Call(100, func() any {
+		pid := p.ID()
+		sim := t.srv.K.Sim
+		sim.ScheduleTask(event.Cycle(n), "nanosleep", sim.ProcIsDaemon(pid), func() {
+			sim.Wake(pid, sim.CurTime())
+		})
+		sim.BlockCurrent()
+		return nil
+	})
+}
+
+// Fork creates a child process running body, paired with its own OS thread
+// (the fork+connect handshake of §3.1). The child inherits nothing but the
+// kernel: it gets a fresh private address space, like the paper's
+// process-model applications.
+func (t *OSThread) Fork(name string, body func(p *frontend.Proc)) {
+	p := t.proc
+	srv := t.srv
+	defer t.enter("kfork")()
+	p.Call(1500, func() any {
+		srv.K.Sim.SpawnLocked(name, func(cp *frontend.Proc) {
+			srv.Connect(cp)
+			body(cp)
+		})
+		return nil
+	})
+}
+
+// StartSyncd launches the buffer-cache flush daemon — the paper's example
+// of bottom-half kernel work without a process context ("the kernel thread
+// for virtual memory garbage collection"): every interval it writes all
+// dirty blocks back to disk. Call before Run (setup context).
+func (s *Server) StartSyncd(interval uint64) {
+	s.K.Sim.SpawnDaemon("syncd", func(p *frontend.Proc) {
+		t := s.Connect(p)
+		for {
+			t.SleepCycles(interval)
+			s.K.Enter(p)
+			s.FS.SyncAll(p)
+			s.K.Exit(p)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+// Package simsync provides synchronization primitives built from simulated
+// atomic read-modify-write instructions — the "synchronization
+// instruction" events the paper's instrumentor hooks alongside memory
+// references (§2).
+//
+// Because the functional RMW happens in the backend in global timestamp
+// order, lock ownership sequences are deterministic; and because a lock
+// word lives in simulated (shared or kernel) memory, contention shows up
+// in the caches and interconnect of the simulated target exactly like a
+// real spinlock.
+package simsync
+
+import (
+	"compass/internal/comm"
+	"compass/internal/frontend"
+	"compass/internal/mem"
+)
+
+// SpinLock is a test-and-set lock with exponential backoff. The word at
+// Addr must be a zero-initialized 4-byte word in simulated memory.
+type SpinLock struct {
+	Addr   mem.VirtAddr
+	Kernel bool // word lives in the kernel address space
+}
+
+// Lock acquires the lock, spinning with exponential backoff. Each attempt
+// is a simulated synchronization instruction, so contention costs simulated
+// cycles and coherence traffic. After a bounded spin the waiter yields its
+// processor (spin-then-yield): the holder may be blocked in the kernel and
+// need a CPU, and the process scheduler is not preemptive by default
+// (§3.3.2).
+func (l *SpinLock) Lock(p *frontend.Proc) {
+	backoff := uint64(8)
+	attempts := 0
+	for {
+		if p.RMW(l.Addr, 4, comm.RMWCAS, 1, 0, l.Kernel) == 0 {
+			return
+		}
+		p.ComputeCycles(backoff)
+		if backoff < 4096 {
+			backoff *= 2
+		}
+		attempts++
+		if attempts%8 == 0 {
+			p.Yield()
+		}
+	}
+}
+
+// TryLock attempts a single acquisition.
+func (l *SpinLock) TryLock(p *frontend.Proc) bool {
+	return p.RMW(l.Addr, 4, comm.RMWCAS, 1, 0, l.Kernel) == 0
+}
+
+// Unlock releases the lock.
+func (l *SpinLock) Unlock(p *frontend.Proc) {
+	p.RMW(l.Addr, 4, comm.RMWSwap, 0, 0, l.Kernel)
+}
+
+// Barrier is a sense-reversing counter barrier over two simulated words:
+// an arrival counter at Addr and a generation word at Addr+4. N is the
+// number of participants.
+type Barrier struct {
+	Addr   mem.VirtAddr
+	Kernel bool
+	N      uint64
+}
+
+// Wait blocks (spinning in simulated time) until all N participants have
+// arrived.
+func (b *Barrier) Wait(p *frontend.Proc) {
+	gen := p.RMW(b.Addr+4, 4, comm.RMWAdd, 0, 0, b.Kernel) // atomic load
+	arrived := p.RMW(b.Addr, 4, comm.RMWAdd, 1, 0, b.Kernel) + 1
+	if arrived == b.N {
+		// Last arrival: reset the counter and advance the generation.
+		p.RMW(b.Addr, 4, comm.RMWSwap, 0, 0, b.Kernel)
+		p.RMW(b.Addr+4, 4, comm.RMWAdd, 1, 0, b.Kernel)
+		return
+	}
+	backoff := uint64(16)
+	attempts := 0
+	for p.RMW(b.Addr+4, 4, comm.RMWAdd, 0, 0, b.Kernel) == gen {
+		p.ComputeCycles(backoff)
+		if backoff < 8192 {
+			backoff *= 2
+		}
+		attempts++
+		if attempts%8 == 0 {
+			p.Yield()
+		}
+	}
+}
+
+// Counter is a simulated atomic counter (statistics cells in shared
+// segments, ticket dispensers).
+type Counter struct {
+	Addr   mem.VirtAddr
+	Kernel bool
+}
+
+// Add atomically adds delta and returns the previous value.
+func (c *Counter) Add(p *frontend.Proc, delta uint64) uint64 {
+	return p.RMW(c.Addr, 4, comm.RMWAdd, delta, 0, c.Kernel)
+}
+
+// Load atomically reads the counter.
+func (c *Counter) Load(p *frontend.Proc) uint64 {
+	return p.RMW(c.Addr, 4, comm.RMWAdd, 0, 0, c.Kernel)
+}
+
+// Store atomically overwrites the counter.
+func (c *Counter) Store(p *frontend.Proc, v uint64) {
+	p.RMW(c.Addr, 4, comm.RMWSwap, v, 0, c.Kernel)
+}

@@ -1,0 +1,137 @@
+package simsync
+
+import (
+	"fmt"
+	"testing"
+
+	"compass/internal/core"
+	"compass/internal/frontend"
+	"compass/internal/isa"
+	"compass/internal/mem"
+)
+
+// sim builds a bare simulator with a kernel page for lock words.
+func sim(cpus int) (*core.Sim, mem.VirtAddr) {
+	cfg := core.DefaultConfig()
+	cfg.CPUs = cpus
+	cfg.MemFrames = 256
+	s := core.New(cfg)
+	kbase, err := s.KernelSbrk(mem.PageSize)
+	if err != nil {
+		panic(err)
+	}
+	return s, kbase
+}
+
+func TestTryLock(t *testing.T) {
+	s, kbase := sim(1)
+	s.Spawn("p", func(p *frontend.Proc) {
+		l := &SpinLock{Addr: kbase, Kernel: true}
+		if !l.TryLock(p) {
+			t.Error("TryLock on free lock failed")
+		}
+		if l.TryLock(p) {
+			t.Error("TryLock on held lock succeeded")
+		}
+		l.Unlock(p)
+		if !l.TryLock(p) {
+			t.Error("TryLock after unlock failed")
+		}
+	})
+	s.Run()
+}
+
+func TestLockFairnessUnderContention(t *testing.T) {
+	s, kbase := sim(4)
+	acquisitions := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("p%d", i), func(p *frontend.Proc) {
+			l := &SpinLock{Addr: kbase, Kernel: true}
+			for j := 0; j < 20; j++ {
+				l.Lock(p)
+				acquisitions[i]++
+				p.Compute(isa.ALU(30))
+				l.Unlock(p)
+				p.Compute(isa.ALU(10))
+			}
+		})
+	}
+	s.Run()
+	for i, a := range acquisitions {
+		if a != 20 {
+			t.Errorf("proc %d acquired %d times, want 20 (starvation?)", i, a)
+		}
+	}
+}
+
+func TestCounterOps(t *testing.T) {
+	s, kbase := sim(1)
+	s.Spawn("c", func(p *frontend.Proc) {
+		c := &Counter{Addr: kbase + 64, Kernel: true}
+		if c.Load(p) != 0 {
+			t.Error("fresh counter nonzero")
+		}
+		if prev := c.Add(p, 5); prev != 0 {
+			t.Errorf("Add returned %d, want previous value 0", prev)
+		}
+		if c.Load(p) != 5 {
+			t.Errorf("counter = %d", c.Load(p))
+		}
+		c.Store(p, 100)
+		if c.Load(p) != 100 {
+			t.Error("Store lost")
+		}
+	})
+	s.Run()
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	s, kbase := sim(2)
+	const rounds = 5
+	seen := [2][rounds]int{}
+	counter := 0
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("b%d", i), func(p *frontend.Proc) {
+			bar := &Barrier{Addr: kbase + 128, Kernel: true, N: 2}
+			l := &SpinLock{Addr: kbase + 192, Kernel: true}
+			for r := 0; r < rounds; r++ {
+				l.Lock(p)
+				counter++
+				seen[i][r] = counter
+				l.Unlock(p)
+				bar.Wait(p)
+				// After the barrier both increments of round r happened.
+				l.Lock(p)
+				if counter < 2*(r+1) {
+					t.Errorf("round %d: counter %d < %d after barrier", r, counter, 2*(r+1))
+				}
+				l.Unlock(p)
+				bar.Wait(p)
+			}
+		})
+	}
+	s.Run()
+}
+
+func TestBarrierMoreProcsThanCPUs(t *testing.T) {
+	// Spinning barrier participants must yield so the last arrivals get a
+	// CPU (the spin-then-yield path).
+	s, kbase := sim(2)
+	const procs = 5
+	for i := 0; i < procs; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("b%d", i), func(p *frontend.Proc) {
+			bar := &Barrier{Addr: kbase + 256, Kernel: true, N: procs}
+			arrived := &Counter{Addr: kbase + 320, Kernel: true}
+			p.Compute(isa.ALU(uint64(100 * (i + 1))))
+			arrived.Add(p, 1)
+			bar.Wait(p)
+			if got := arrived.Load(p); got != procs {
+				t.Errorf("proc %d passed barrier with %d arrivals", i, got)
+			}
+		})
+	}
+	s.Run()
+}

@@ -1,0 +1,328 @@
+// Package snoop implements a bus-based shared-memory multiprocessor with
+// MESI snooping coherence over one or two cache levels per processor.
+//
+// With a single cache level and contention disabled this is the paper's
+// "simple backend" ("only a one-level cache per processor"); with two
+// levels and a contended split-transaction bus it is the SMP flavour of the
+// complex backend.
+package snoop
+
+import (
+	"fmt"
+
+	"compass/internal/cache"
+	"compass/internal/event"
+	"compass/internal/mem"
+	"compass/internal/stats"
+)
+
+// Config describes the SMP target.
+type Config struct {
+	CPUs int
+	L1   cache.Config
+	// L2 is optional; a zero Size disables the second level.
+	L2 cache.Config
+	// BusCycles is the bus occupancy of one address+data transaction.
+	BusCycles event.Cycle
+	// MemCycles is the DRAM access time beyond the bus.
+	MemCycles event.Cycle
+	// CacheToCache is the extra cost of an intervention (dirty line
+	// supplied by a peer cache).
+	CacheToCache event.Cycle
+	// Contention enables bus occupancy modelling; when false the bus is
+	// treated as infinitely wide (the simple backend's idealization).
+	Contention bool
+}
+
+// DefaultL1 is a 1998-vintage 32 KB 2-way 32 B-line L1.
+func DefaultL1() cache.Config {
+	return cache.Config{Size: 32 << 10, LineSize: 32, Assoc: 2, Latency: 1}
+}
+
+// DefaultL2 is a 512 KB 4-way 64 B-line L2.
+func DefaultL2() cache.Config {
+	return cache.Config{Size: 512 << 10, LineSize: 64, Assoc: 4, Latency: 8}
+}
+
+// SimpleConfig is the paper's simple backend: one cache level, ideal bus.
+func SimpleConfig(cpus int) Config {
+	return Config{
+		CPUs: cpus, L1: DefaultL1(),
+		BusCycles: 12, MemCycles: 30, CacheToCache: 18,
+		Contention: false,
+	}
+}
+
+// SMPConfig is the two-level contended-bus SMP target.
+func SMPConfig(cpus int) Config {
+	return Config{
+		CPUs: cpus, L1: DefaultL1(), L2: DefaultL2(),
+		BusCycles: 12, MemCycles: 30, CacheToCache: 18,
+		Contention: true,
+	}
+}
+
+type cpuCaches struct {
+	l1 *cache.Cache
+	l2 *cache.Cache // nil when single-level
+}
+
+// System is the snooping SMP memory system.
+type System struct {
+	cfg  Config
+	cpus []cpuCaches
+	bus  *event.Resource
+
+	loads, stores       uint64
+	l1Hits, l2Hits      uint64
+	snoopsSupplied      uint64
+	invalidations       uint64
+	memReads, memWrites uint64
+}
+
+// New builds the system.
+func New(cfg Config) *System {
+	s := &System{cfg: cfg, bus: event.NewResource("bus")}
+	for i := 0; i < cfg.CPUs; i++ {
+		cc := cpuCaches{l1: cache.New(cfg.L1)}
+		if cfg.L2.Size > 0 {
+			cc.l2 = cache.New(cfg.L2)
+		}
+		s.cpus = append(s.cpus, cc)
+	}
+	return s
+}
+
+// Name implements memsys.Model.
+func (s *System) Name() string {
+	if s.cpus[0].l2 == nil {
+		return "simple"
+	}
+	return "smp"
+}
+
+// CPUs returns the processor count.
+func (s *System) CPUs() int { return len(s.cpus) }
+
+// busAcquire charges one bus transaction and returns its completion time.
+func (s *System) busAcquire(now event.Cycle) event.Cycle {
+	if !s.cfg.Contention {
+		return now + s.cfg.BusCycles
+	}
+	return s.bus.Acquire(now, s.cfg.BusCycles)
+}
+
+// coherenceLine is the granularity at which the protocol operates: the
+// largest line size present (L2 if configured, else L1).
+func (s *System) coherenceCache(c *cpuCaches) *cache.Cache {
+	if c.l2 != nil {
+		return c.l2
+	}
+	return c.l1
+}
+
+// Access implements memsys.Model.
+func (s *System) Access(now event.Cycle, cpu int, pa mem.PhysAddr, write bool) event.Cycle {
+	if write {
+		s.stores++
+	} else {
+		s.loads++
+	}
+	me := &s.cpus[cpu]
+	t := now + event.Cycle(s.cfg.L1.Latency)
+
+	// L1 lookup.
+	if st, hit := me.l1.Access(pa, write); hit {
+		if !write || st == cache.Modified || st == cache.Exclusive {
+			s.l1Hits++
+			return t
+		}
+		// Write to Shared line: upgrade via bus below (invalidation).
+	}
+
+	// L2 lookup (if present).
+	if me.l2 != nil {
+		t += event.Cycle(s.cfg.L2.Latency)
+		if st, hit := me.l2.Access(pa, write); hit {
+			if !write || st == cache.Modified || st == cache.Exclusive {
+				s.l2Hits++
+				s.fillL1(me, pa, st, write)
+				return t
+			}
+		}
+	}
+
+	// Miss (or upgrade): one bus transaction, snooping every peer.
+	t = s.busAcquire(t)
+	newState := s.snoopPeers(cpu, pa, write, &t)
+
+	if write {
+		newState = cache.Modified
+	}
+	s.fillLevels(me, pa, newState, write)
+	return t
+}
+
+// snoopPeers probes all other caches and returns the state the requester's
+// caches should install for a read (Exclusive when no peer holds the line,
+// Shared otherwise). It also accounts memory or cache-to-cache supply time.
+func (s *System) snoopPeers(cpu int, pa mem.PhysAddr, write bool, t *event.Cycle) cache.State {
+	shared := false
+	dirtySupply := false
+	for i := range s.cpus {
+		if i == cpu {
+			continue
+		}
+		peer := &s.cpus[i]
+		co := s.coherenceCache(peer)
+		prev := co.Probe(pa, write)
+		if prev == cache.Invalid {
+			continue
+		}
+		// Keep L1 consistent with the coherence level (inclusion). The L2
+		// line may span several L1 lines; probe each of them.
+		if peer.l2 != nil {
+			s.probeL1Span(peer, pa, write)
+		}
+		if write {
+			s.invalidations++
+		}
+		shared = true
+		if prev == cache.Modified {
+			dirtySupply = true
+		}
+	}
+	switch {
+	case dirtySupply:
+		s.snoopsSupplied++
+		*t += s.cfg.CacheToCache
+		s.memWrites++ // reflective write of the dirty line to memory
+	default:
+		s.memReads++
+		*t += s.cfg.MemCycles
+	}
+	if write || !shared {
+		if !shared {
+			return cache.Exclusive
+		}
+		return cache.Modified
+	}
+	return cache.Shared
+}
+
+// fillLevels installs the line in L2 (if present) and L1, handling dirty
+// victims with an extra bus+memory writeback charge folded into occupancy.
+func (s *System) fillLevels(c *cpuCaches, pa mem.PhysAddr, st cache.State, write bool) {
+	if write {
+		st = cache.Modified
+	}
+	if c.l2 != nil {
+		if l2st := c.l2.Lookup(pa); l2st == cache.Invalid {
+			v := c.l2.Fill(pa, st)
+			s.handleVictim(c, v, true)
+		} else if write && l2st != cache.Modified {
+			c.l2.Upgrade(pa)
+		}
+	}
+	s.fillL1(c, pa, st, write)
+}
+
+func (s *System) fillL1(c *cpuCaches, pa mem.PhysAddr, st cache.State, write bool) {
+	if write {
+		st = cache.Modified
+	}
+	if l1st := c.l1.Lookup(pa); l1st == cache.Invalid {
+		v := c.l1.Fill(pa, st)
+		s.handleVictim(c, v, false)
+	} else if write && l1st != cache.Modified {
+		c.l1.Upgrade(pa)
+	}
+}
+
+// handleVictim accounts the writeback of a dirty victim and, for L2
+// victims, maintains inclusion by invalidating the L1 copy.
+func (s *System) handleVictim(c *cpuCaches, v cache.Victim, fromL2 bool) {
+	if !v.Valid {
+		return
+	}
+	if fromL2 {
+		if s.probeL1Span(c, v.Addr, true) {
+			v.Dirty = true
+		}
+	}
+	if v.Dirty {
+		s.memWrites++
+		if s.cfg.Contention {
+			// Writeback occupies the bus but the processor does not wait.
+			s.bus.Acquire(s.bus.NextFree(), s.cfg.BusCycles)
+		}
+	}
+}
+
+// probeL1Span applies a coherence action to every L1 line covered by the
+// coherence-granularity (L2) line containing pa. It reports whether any of
+// them was Modified.
+func (s *System) probeL1Span(c *cpuCaches, pa mem.PhysAddr, invalidate bool) bool {
+	span := s.cfg.L1.LineSize
+	width := s.coherenceCache(c).Config().LineSize
+	base := pa &^ mem.PhysAddr(width-1)
+	dirty := false
+	for off := 0; off < width; off += span {
+		if c.l1.Probe(base+mem.PhysAddr(off), invalidate) == cache.Modified {
+			dirty = true
+		}
+	}
+	return dirty
+}
+
+// AddCounters implements memsys.Model.
+func (s *System) AddCounters(c *stats.Counters) {
+	p := s.Name()
+	c.Inc(p+".loads", s.loads)
+	c.Inc(p+".stores", s.stores)
+	c.Inc(p+".l1.hits", s.l1Hits)
+	c.Inc(p+".l2.hits", s.l2Hits)
+	c.Inc(p+".cache2cache", s.snoopsSupplied)
+	c.Inc(p+".invalidations", s.invalidations)
+	c.Inc(p+".mem.reads", s.memReads)
+	c.Inc(p+".mem.writes", s.memWrites)
+	c.Inc(p+".bus.requests", s.bus.Requests)
+	c.Inc(p+".bus.waitcycles", uint64(s.bus.Waits))
+	var h1, m1 uint64
+	for i := range s.cpus {
+		h1 += s.cpus[i].l1.Hits
+		m1 += s.cpus[i].l1.Misses
+	}
+	c.Inc(p+".l1.lookups", h1+m1)
+}
+
+// CacheState reports the coherence-level state of pa in cpu's caches
+// (test hook).
+func (s *System) CacheState(cpu int, pa mem.PhysAddr) cache.State {
+	return s.coherenceCache(&s.cpus[cpu]).Lookup(pa)
+}
+
+// CheckCoherence verifies the single-writer/multiple-reader invariant for
+// the line containing pa: at most one cache in M or E, and if any is M or E
+// then no other cache holds the line at all. It returns an error describing
+// the violation, or nil. Used by property tests.
+func (s *System) CheckCoherence(pa mem.PhysAddr) error {
+	owners, holders := 0, 0
+	for i := range s.cpus {
+		st := s.coherenceCache(&s.cpus[i]).Lookup(pa)
+		if st == cache.Invalid {
+			continue
+		}
+		holders++
+		if st == cache.Modified || st == cache.Exclusive {
+			owners++
+		}
+	}
+	if owners > 1 {
+		return fmt.Errorf("snoop: %d owners of line %#x", owners, uint64(pa))
+	}
+	if owners == 1 && holders > 1 {
+		return fmt.Errorf("snoop: owned line %#x also held by %d others", uint64(pa), holders-1)
+	}
+	return nil
+}

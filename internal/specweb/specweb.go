@@ -1,0 +1,119 @@
+// Package specweb reproduces the SPECWeb96 benchmark structure the paper
+// uses to drive Apache (§4.2): a file-set generator that populates the
+// server with files in four size classes, and a workload generator that
+// produces the HTTP request stream. Following the paper, live closed-loop
+// clients are replaced by an intermediate request trace ("we generate an
+// intermediate HTTP request trace file ... and implement a trace player").
+package specweb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"compass/internal/fs"
+	"compass/internal/trace"
+)
+
+// Config scales the fileset.
+type Config struct {
+	// Dirs is the number of directories (SPECWeb96 scales load by adding
+	// directories of identical structure).
+	Dirs int
+	// SizeScale divides the canonical SPECWeb file sizes so simulator runs
+	// stay tractable (1 = full size).
+	SizeScale int
+	// Requests is the trace length.
+	Requests int
+	Seed     int64
+}
+
+// DefaultConfig is a small fileset: 2 dirs, sizes / 8, 200 requests.
+func DefaultConfig() Config {
+	return Config{Dirs: 2, SizeScale: 8, Requests: 200, Seed: 1996}
+}
+
+// SPECWeb96's four file classes with their canonical access mix: class 0
+// (0.1-0.9 KB) 35%, class 1 (1-9 KB) 50%, class 2 (10-90 KB) 14%,
+// class 3 (100-900 KB) 1%. Each class holds nine files in steps of the
+// class base size.
+var (
+	classBase   = [4]int{102, 1024, 10240, 102400}
+	classWeight = [4]int{35, 50, 14, 1}
+)
+
+// FileName returns the canonical path of a fileset member.
+func FileName(dir, class, idx int) string {
+	return fmt.Sprintf("dir%05d/class%d_%d", dir, class, idx)
+}
+
+// FileSize returns the (scaled) size in bytes of a fileset member.
+func FileSize(cfg Config, class, idx int) int {
+	size := classBase[class] * (idx + 1) / cfg.SizeScale
+	if size < 64 {
+		size = 64
+	}
+	return size
+}
+
+// GenerateFileset populates the simulated filesystem (pre-Run) and returns
+// the total bytes written.
+func GenerateFileset(filesys *fs.FS, cfg Config) int64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var total int64
+	for d := 0; d < cfg.Dirs; d++ {
+		for c := 0; c < 4; c++ {
+			for i := 0; i < 9; i++ {
+				size := FileSize(cfg, c, i)
+				data := make([]byte, size)
+				for j := range data {
+					data[j] = byte('a' + rng.Intn(26))
+				}
+				filesys.SetupCreate(FileName(d, c, i), data)
+				total += int64(size)
+			}
+		}
+	}
+	return total
+}
+
+// GenerateTrace produces the request trace with the SPECWeb class mix:
+// directory uniform, class by canonical weights, file within class zipf-ish
+// (smaller files more popular).
+func GenerateTrace(cfg Config) trace.Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	reqs := make(trace.Trace, 0, cfg.Requests)
+	for r := 0; r < cfg.Requests; r++ {
+		d := rng.Intn(cfg.Dirs)
+		c := pickClass(rng)
+		i := pickZipf9(rng)
+		reqs = append(reqs, trace.Request{
+			Path: "/" + FileName(d, c, i),
+			Size: FileSize(cfg, c, i),
+		})
+	}
+	return reqs
+}
+
+func pickClass(rng *rand.Rand) int {
+	x := rng.Intn(100)
+	for c, w := range classWeight {
+		if x < w {
+			return c
+		}
+		x -= w
+	}
+	return 0
+}
+
+// pickZipf9 picks one of 9 files with harmonic weights (1/k).
+func pickZipf9(rng *rand.Rand) int {
+	// H(9) ≈ 2.828968; sample by inverse CDF over 1/k.
+	x := rng.Float64() * 2.8289682539682537
+	for k := 1; k <= 9; k++ {
+		x -= 1.0 / float64(k)
+		if x <= 0 {
+			return k - 1
+		}
+	}
+	return 8
+}

@@ -1,0 +1,102 @@
+package specweb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFileSizesMonotoneWithinClass(t *testing.T) {
+	cfg := DefaultConfig()
+	for c := 0; c < 4; c++ {
+		prev := 0
+		for i := 0; i < 9; i++ {
+			s := FileSize(cfg, c, i)
+			if s <= 0 {
+				t.Fatalf("class %d idx %d size %d", c, i, s)
+			}
+			if s < prev {
+				t.Errorf("class %d sizes not nondecreasing", c)
+			}
+			prev = s
+		}
+	}
+	// Classes get an order of magnitude bigger each step.
+	if FileSize(cfg, 3, 0) <= FileSize(cfg, 2, 0) {
+		t.Error("class 3 not bigger than class 2")
+	}
+}
+
+func TestFileNameFormat(t *testing.T) {
+	if got := FileName(3, 2, 7); got != "dir00003/class2_7" {
+		t.Errorf("FileName = %q", got)
+	}
+}
+
+func TestTraceDistribution(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Requests = 5000
+	tr := GenerateTrace(cfg)
+	if len(tr) != 5000 {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	classCount := make(map[int]int)
+	for _, r := range tr {
+		if !strings.HasPrefix(r.Path, "/dir") {
+			t.Fatalf("bad path %q", r.Path)
+		}
+		for c := 0; c < 4; c++ {
+			if strings.Contains(r.Path, "class"+string(rune('0'+c))) {
+				classCount[c]++
+			}
+		}
+		if r.Size <= 0 {
+			t.Fatalf("non-positive size for %q", r.Path)
+		}
+	}
+	// SPECWeb96 mix: 35 / 50 / 14 / 1 percent, ±5 points at n=5000.
+	want := []float64{35, 50, 14, 1}
+	for c := 0; c < 4; c++ {
+		got := 100 * float64(classCount[c]) / 5000
+		if got < want[c]-5 || got > want[c]+5 {
+			t.Errorf("class %d share %.1f%%, want ≈%.0f%%", c, got, want[c])
+		}
+	}
+}
+
+func TestZipfWithinClassFavorsSmallIndex(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Requests = 8000
+	tr := GenerateTrace(cfg)
+	idxCount := make([]int, 9)
+	for _, r := range tr {
+		// paths end "classC_I"
+		i := int(r.Path[len(r.Path)-1] - '0')
+		idxCount[i]++
+	}
+	if idxCount[0] <= idxCount[8] {
+		t.Errorf("zipf inverted: idx0=%d idx8=%d", idxCount[0], idxCount[8])
+	}
+}
+
+func TestTraceDeterministicForSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	a := GenerateTrace(cfg)
+	b := GenerateTrace(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	cfg.Seed++
+	c := GenerateTrace(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seed produced identical trace")
+	}
+}

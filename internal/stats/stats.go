@@ -1,0 +1,217 @@
+// Package stats implements the cycle accounting that backs the paper's
+// Table 1: every simulated cycle is attributed to one execution mode (user,
+// kernel, or interrupt handler) of one simulated process, and the package
+// aggregates those attributions into the user-vs-OS-time profile the paper
+// reports for SPECWeb/Apache, TPCD/DB2 and TPCC/DB2.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mode is the execution mode a cycle is charged to.
+type Mode int
+
+const (
+	// ModeUser is ordinary application code.
+	ModeUser Mode = iota
+	// ModeKernel is category-1 OS code run by the OS server on behalf of a
+	// process (system calls: kreadv, kwritev, select, send, ...).
+	ModeKernel
+	// ModeInterrupt is bottom-half code: device interrupt handlers and the
+	// interval timer.
+	ModeInterrupt
+	numModes
+)
+
+// String returns the profile column name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeUser:
+		return "user"
+	case ModeKernel:
+		return "kernel"
+	case ModeInterrupt:
+		return "interrupt"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// TimeAccount accumulates cycles per execution mode.
+type TimeAccount struct {
+	cycles [numModes]uint64
+}
+
+// Charge adds n cycles to mode m.
+func (a *TimeAccount) Charge(m Mode, n uint64) { a.cycles[m] += n }
+
+// Cycles returns the cycles charged to mode m.
+func (a *TimeAccount) Cycles(m Mode) uint64 { return a.cycles[m] }
+
+// Total returns the cycles charged across all modes.
+func (a *TimeAccount) Total() uint64 {
+	var t uint64
+	for _, c := range a.cycles {
+		t += c
+	}
+	return t
+}
+
+// Add merges another account into this one.
+func (a *TimeAccount) Add(b *TimeAccount) {
+	for i := range a.cycles {
+		a.cycles[i] += b.cycles[i]
+	}
+}
+
+// Profile is one row of the paper's Table 1: the user and OS shares of total
+// CPU time, with OS time split into interrupt-handler and kernel time.
+type Profile struct {
+	Name         string
+	TotalCycles  uint64
+	UserPct      float64
+	OSPct        float64
+	InterruptPct float64
+	KernelPct    float64
+	UserCycles   uint64
+	KernelCycles uint64
+	IntrCycles   uint64
+}
+
+// ProfileOf reduces a time account to a Table-1 row. Total excludes idle
+// (disk-wait) time by construction: only charged cycles are counted, which
+// matches the paper's "total CPU time which excludes wait time due to disk
+// IO".
+func ProfileOf(name string, a *TimeAccount) Profile {
+	total := a.Total()
+	p := Profile{
+		Name:         name,
+		TotalCycles:  total,
+		UserCycles:   a.Cycles(ModeUser),
+		KernelCycles: a.Cycles(ModeKernel),
+		IntrCycles:   a.Cycles(ModeInterrupt),
+	}
+	if total == 0 {
+		return p
+	}
+	pct := func(c uint64) float64 { return 100 * float64(c) / float64(total) }
+	p.UserPct = pct(p.UserCycles)
+	p.KernelPct = pct(p.KernelCycles)
+	p.InterruptPct = pct(p.IntrCycles)
+	p.OSPct = p.KernelPct + p.InterruptPct
+	return p
+}
+
+// String formats the profile like a Table-1 row.
+func (p Profile) String() string {
+	return fmt.Sprintf("%-18s user %5.1f%%  OS %5.1f%% (interrupt %5.1f%%, kernel %5.1f%%)",
+		p.Name, p.UserPct, p.OSPct, p.InterruptPct, p.KernelPct)
+}
+
+// Counters is a named set of monotonic event counters (cache hits, bus
+// transactions, packets, ...). The zero value is ready to use.
+type Counters struct {
+	m map[string]uint64
+}
+
+// Inc adds n to counter name.
+func (c *Counters) Inc(name string, n uint64) {
+	if c.m == nil {
+		c.m = make(map[string]uint64)
+	}
+	c.m[name] += n
+}
+
+// Get returns the value of counter name (zero if never incremented).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Add merges another counter set into this one.
+func (c *Counters) Add(o *Counters) {
+	for k, v := range o.m {
+		c.Inc(k, v)
+	}
+}
+
+// String renders all counters, one per line, sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, name := range c.Names() {
+		fmt.Fprintf(&b, "%-32s %12d\n", name, c.m[name])
+	}
+	return b.String()
+}
+
+// Histogram is a fixed-bucket latency histogram with power-of-two bucket
+// boundaries: bucket i counts samples in [2^i, 2^(i+1)).
+type Histogram struct {
+	buckets [32]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for x := v; x > 1 && i < len(h.buckets)-1; x >>= 1 {
+		i++
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the sample mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample observed.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Bucket returns the count of samples in [2^i, 2^(i+1)).
+func (h *Histogram) Bucket(i int) uint64 {
+	if i < 0 || i >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[i]
+}
+
+// Diff returns the counters minus a previous snapshot (measurement-window
+// statistics: snapshot at end of warmup, diff at end of run).
+func (c *Counters) Diff(prev *Counters) *Counters {
+	var out Counters
+	for _, name := range c.Names() {
+		d := c.Get(name) - prev.Get(name)
+		if d != 0 {
+			out.Inc(name, d)
+		}
+	}
+	return &out
+}
+
+// Reset zeroes every cycle bucket (the warmup-discard hook: reset at the
+// start of the measured phase).
+func (a *TimeAccount) Reset() { a.cycles = [numModes]uint64{} }

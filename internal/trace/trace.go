@@ -1,0 +1,202 @@
+// Package trace implements the HTTP request trace format and the trace
+// player of §4.2: because a live SPECWeb96 load generator "will simply
+// time out and drop connections to the server, because the server under
+// simulation is too slow", the paper records an intermediate request trace
+// and feeds it to the simulated server with a player. Our player drives
+// the simulated Ethernet from backend context as a closed-loop client
+// population: each virtual client keeps one request outstanding and issues
+// the next after the server closes the previous connection.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"compass/internal/core"
+	"compass/internal/dev"
+	"compass/internal/event"
+	"compass/internal/stats"
+)
+
+// Request is one trace entry.
+type Request struct {
+	Path string
+	Size int // expected response body bytes (for validation)
+}
+
+// Trace is an ordered request list.
+type Trace []Request
+
+// Save writes the trace in its text format ("GET <path> <size>").
+func (t Trace) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t {
+		if _, err := fmt.Fprintf(bw, "GET %s %d\n", r.Path, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load parses the text format.
+func Load(r io.Reader) (Trace, error) {
+	var t Trace
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var path string
+		var size int
+		if _, err := fmt.Sscanf(line, "GET %s %d", &path, &size); err != nil {
+			return nil, fmt.Errorf("trace: bad line %q: %v", line, err)
+		}
+		t = append(t, Request{Path: path, Size: size})
+	}
+	return t, sc.Err()
+}
+
+// PlayerConfig shapes the client population.
+type PlayerConfig struct {
+	// Concurrency is the number of virtual clients (connections in
+	// flight).
+	Concurrency int
+	// ThinkCycles is the pause between a completed request and the next
+	// one on the same virtual client.
+	ThinkCycles event.Cycle
+	// Workers is how many server workers to shut down with /quit requests
+	// once the trace drains.
+	Workers int
+	// Port is the server port.
+	Port int
+}
+
+// Player replays a trace through the NIC.
+type Player struct {
+	cfg   PlayerConfig
+	sim   *core.Sim
+	nic   *dev.NIC
+	trace Trace
+
+	next     int
+	nextConn int
+	inflight map[int]*flight
+	quits    int
+
+	Completed uint64
+	BadBytes  uint64
+	Latency   stats.Histogram
+}
+
+type flight struct {
+	req     Request
+	start   event.Cycle
+	body    int
+	sawData bool
+	quit    bool
+}
+
+// NewPlayer attaches a player to the NIC (setup context; call Start to
+// begin injecting).
+func NewPlayer(sim *core.Sim, nic *dev.NIC, t Trace, cfg PlayerConfig) *Player {
+	p := &Player{
+		cfg: cfg, sim: sim, nic: nic, trace: t,
+		nextConn: 1 << 16, // keep clear of any server-assigned ids
+		inflight: make(map[int]*flight),
+	}
+	nic.OnTransmit = p.onPacket
+	return p
+}
+
+// Start launches the initial window of clients. Call before Sim.Run (it
+// schedules backend tasks).
+func (p *Player) Start() {
+	n := p.cfg.Concurrency
+	if n > len(p.trace) {
+		n = len(p.trace)
+	}
+	if n == 0 {
+		// Empty trace: go straight to shutdown.
+		p.scheduleQuits(1)
+		return
+	}
+	for i := 0; i < n; i++ {
+		p.launchNext(event.Cycle(1000 * (i + 1)))
+	}
+}
+
+// launchNext injects the SYN + request for the next trace entry after
+// delay. Backend context (or pre-Run setup).
+func (p *Player) launchNext(delay event.Cycle) {
+	if p.next >= len(p.trace) {
+		return
+	}
+	req := p.trace[p.next]
+	p.next++
+	conn := p.nextConn
+	p.nextConn++
+	p.inflight[conn] = &flight{req: req}
+	p.nic.Inject(dev.Packet{Conn: conn, Flags: dev.FlagSYN, Payload: []byte{byte(p.cfg.Port >> 8), byte(p.cfg.Port)}}, delay)
+	p.nic.Inject(dev.Packet{
+		Conn:    conn,
+		Payload: []byte(fmt.Sprintf("GET %s HTTP/1.0\r\n\r\n", req.Path)),
+	}, delay+2000)
+	if f := p.inflight[conn]; f != nil {
+		f.start = p.sim.CurTime() + delay
+	}
+}
+
+// onPacket handles server→client traffic (backend context).
+func (p *Player) onPacket(pkt dev.Packet, at event.Cycle) {
+	f, ok := p.inflight[pkt.Conn]
+	if !ok {
+		return
+	}
+	if pkt.Flags&dev.FlagFIN != 0 {
+		// Connection complete.
+		delete(p.inflight, pkt.Conn)
+		if f.quit {
+			return
+		}
+		p.Completed++
+		p.Latency.Observe(uint64(at - f.start))
+		// Strip the header from the byte count: body bytes must match.
+		if f.body != f.req.Size {
+			p.BadBytes++
+		}
+		if p.next < len(p.trace) {
+			p.launchNext(p.cfg.ThinkCycles)
+		} else if len(p.inflight) == 0 {
+			p.scheduleQuits(1)
+		}
+		return
+	}
+	payload := pkt.Payload
+	if !f.sawData {
+		// First data packet carries the HTTP header; drop it from the
+		// body count.
+		if i := strings.Index(string(payload), "\r\n\r\n"); i >= 0 {
+			payload = payload[i+4:]
+			f.sawData = true
+		} else {
+			return
+		}
+	}
+	f.body += len(payload)
+}
+
+// scheduleQuits sends one /quit request per server worker.
+func (p *Player) scheduleQuits(delay event.Cycle) {
+	for p.quits < p.cfg.Workers {
+		p.quits++
+		conn := p.nextConn
+		p.nextConn++
+		p.inflight[conn] = &flight{quit: true}
+		d := delay + event.Cycle(p.quits)*3000
+		p.nic.Inject(dev.Packet{Conn: conn, Flags: dev.FlagSYN, Payload: []byte{byte(p.cfg.Port >> 8), byte(p.cfg.Port)}}, d)
+		p.nic.Inject(dev.Packet{Conn: conn, Payload: []byte("GET /quit HTTP/1.0\r\n\r\n")}, d+2000)
+	}
+}

@@ -1,0 +1,38 @@
+package compass
+
+import (
+	"fmt"
+
+	"compass/internal/frontend"
+	"compass/internal/isa"
+	"compass/internal/machine"
+	"compass/internal/mem"
+	"compass/internal/osserver"
+)
+
+// RunBatchSweep is the interleave-granularity experiment (§2): procs
+// perform a fixed strided store sweep with `batch` references coalesced
+// per event-port message. batch=1 is per-reference interleaving; larger
+// batches approximate the paper's basic-block granularity, trading
+// interleave fidelity for fewer frontend-backend rendezvous. Returns the
+// simulated completion time (identical memory traffic regardless of
+// batch, so the simulated cycles should barely move while host time
+// drops).
+func RunBatchSweep(cfg Config, batch, stores int) uint64 {
+	m := machine.New(cfg)
+	for i := 0; i < cfg.CPUs; i++ {
+		i := i
+		m.SpawnConnected(fmt.Sprintf("sweep%d", i), func(p *frontend.Proc) {
+			os := osserver.For(p)
+			base := os.Sbrk(1 << 20)
+			p.SetBatch(batch)
+			for j := 0; j < stores; j++ {
+				p.Store(base+mem.VirtAddr((j*96+i*32)%(1<<20-8)), 4)
+				p.Compute(isa.ALU(3))
+			}
+			p.SetBatch(1)
+		})
+	}
+	end := m.Sim.Run()
+	return uint64(end)
+}
