@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short-mode race pass: catches frontend/backend rendezvous races without
+# the full-length workloads.
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# The tier-1 gate: formatting, vet, full tests, then the race pass.
+check: fmt vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

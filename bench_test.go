@@ -12,9 +12,13 @@ package compass
 // reproduction lives in the custom metrics.
 
 import (
+	"bytes"
 	"testing"
 
+	"compass/internal/apps/tpcc"
+	"compass/internal/checkpoint"
 	"compass/internal/frontend"
+	"compass/internal/machine"
 )
 
 func reportProfile(b *testing.B, r Result) {
@@ -320,3 +324,54 @@ func BenchmarkAblationDiskFIFO(b *testing.B) { benchDisk(b, false) }
 
 // BenchmarkAblationDiskSCAN: elevator service.
 func BenchmarkAblationDiskSCAN(b *testing.B) { benchDisk(b, true) }
+
+// --- Checkpoint: snapshot save/restore throughput ------------------------------
+//
+// MB/s over a warmed TPCC machine's snapshot; snapshot_bytes carries the
+// serialized size.
+
+func warmedTPCCMachine(b *testing.B) *machine.Machine {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.CPUs = 2
+	w := DefaultTPCC()
+	w.Agents = 2
+	w.TxPerAgent = 4
+	m := machine.New(cfg)
+	wl := tpcc.Setup(m.FS, w)
+	spawnTPCCAgents(m, wl, 0, w.Agents)
+	m.Sim.Run()
+	return m
+}
+
+// BenchmarkCheckpointSave serializes a warmed machine to memory.
+func BenchmarkCheckpointSave(b *testing.B) {
+	m := warmedTPCCMachine(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := checkpoint.Save(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportMetric(float64(buf.Len()), "snapshot_bytes")
+}
+
+// BenchmarkCheckpointRestore rebuilds a machine from the snapshot.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	m := warmedTPCCMachine(b)
+	var buf bytes.Buffer
+	if err := checkpoint.Save(&buf, m); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checkpoint.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len()), "snapshot_bytes")
+}

@@ -1,0 +1,89 @@
+package tpcc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"compass/internal/apps/db"
+)
+
+// BTreeMeta is one index's run-time-mutable metadata.
+type BTreeMeta struct {
+	Root   int
+	Height int
+}
+
+// Meta is the workload's host-side checkpoint section: everything needed to
+// re-attach a Workload to a restored machine — the engine's pool mirror,
+// the index roots (they move when a root splits), and the next agent index
+// so resumed spawns continue the exact process-naming sequence of the
+// uninterrupted run.
+type Meta struct {
+	Cfg        Config
+	DB         []byte
+	CustIndex  BTreeMeta
+	OrderIndex BTreeMeta
+	AgentBase  int
+}
+
+// SaveState serializes the workload's host-side state. agentBase is the
+// next agent index a resumed run should spawn from.
+func (w *Workload) SaveState(agentBase int) ([]byte, error) {
+	dbState, err := db.SaveState(w.Cat)
+	if err != nil {
+		return nil, err
+	}
+	m := Meta{
+		Cfg:        w.Cfg,
+		DB:         dbState,
+		CustIndex:  BTreeMeta{Root: w.custIndex.Root, Height: w.custIndex.Height},
+		OrderIndex: BTreeMeta{Root: w.orderIndex.Root, Height: w.orderIndex.Height},
+		AgentBase:  agentBase,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// AttachRestore rebuilds a Workload handle against a restored machine. It
+// mirrors Setup's catalog construction but creates no files — the table
+// files, log, and shared-memory segment already exist inside the restored
+// machine. Returns the workload and the next agent index.
+func AttachRestore(state []byte) (*Workload, int, error) {
+	var meta Meta
+	if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&meta); err != nil {
+		return nil, 0, fmt.Errorf("tpcc: decode state: %w", err)
+	}
+	cfg := meta.Cfg
+	w := &Workload{Cfg: cfg, Cat: db.NewCatalog(shmKey, cfg.PoolPages)}
+	nD := cfg.Warehouses * cfg.DistrictsPerW
+	nC := nD * cfg.CustomersPerD
+	w.warehouse = w.Cat.AddTable("warehouse", "tpcc.warehouse", rowSize, cfg.Warehouses)
+	w.district = w.Cat.AddTable("district", "tpcc.district", rowSize, nD)
+	w.customer = w.Cat.AddTable("customer", "tpcc.customer", rowSize, nC)
+	w.stock = w.Cat.AddTable("stock", "tpcc.stock", rowSize, cfg.Items)
+	w.custIndex = db.AttachBTree(w.Cat, "custidx", "tpcc.custidx", meta.CustIndex.Root, meta.CustIndex.Height)
+	w.orderIndex = db.AttachBTree(w.Cat, "orderidx", "tpcc.orderidx", meta.OrderIndex.Root, meta.OrderIndex.Height)
+	if err := db.RestoreState(w.Cat, meta.DB); err != nil {
+		return nil, 0, err
+	}
+	w.counterWord = 2
+	return w, meta.AgentBase, nil
+}
+
+// WithConfig returns a workload sharing this one's catalog, pool and
+// indexes but running transactions at a different scale — the measured
+// phase of a phased run. Schema-shaping fields must match.
+func (w *Workload) WithConfig(cfg Config) (*Workload, error) {
+	if cfg.Warehouses != w.Cfg.Warehouses || cfg.DistrictsPerW != w.Cfg.DistrictsPerW ||
+		cfg.CustomersPerD != w.Cfg.CustomersPerD || cfg.Items != w.Cfg.Items ||
+		cfg.PoolPages != w.Cfg.PoolPages {
+		return nil, fmt.Errorf("tpcc: measured config reshapes the schema")
+	}
+	nw := *w
+	nw.Cfg = cfg
+	return &nw, nil
+}

@@ -71,10 +71,13 @@ type Workload struct {
 	counterWord int
 }
 
+// shmKey identifies the buffer-pool shared-memory segment.
+const shmKey = 0x7C0C
+
 // Setup creates the table files on the filesystem and the catalog
 // (pre-Run).
 func Setup(filesys *fs.FS, cfg Config) *Workload {
-	w := &Workload{Cfg: cfg, Cat: db.NewCatalog(0x7C0C, cfg.PoolPages)}
+	w := &Workload{Cfg: cfg, Cat: db.NewCatalog(shmKey, cfg.PoolPages)}
 	nD := cfg.Warehouses * cfg.DistrictsPerW
 	nC := nD * cfg.CustomersPerD
 

@@ -1,0 +1,100 @@
+package coma
+
+import (
+	"fmt"
+	"sort"
+
+	"compass/internal/cache"
+	"compass/internal/event"
+	"compass/internal/mem"
+	"compass/internal/noc"
+)
+
+// HolderSnap is one flat-directory entry, keyed by line address and
+// serialized in address order for byte-deterministic encoding.
+type HolderSnap struct {
+	Addr    uint64
+	Holders uint64
+	Owner   int
+}
+
+// Snapshot is the serializable state of the COMA memory system.
+type Snapshot struct {
+	L1s  []cache.Snapshot
+	AMs  []cache.Snapshot
+	Net  noc.Snapshot
+	Dir  []HolderSnap
+	Memc []event.ResourceState
+
+	Loads, Stores uint64
+	L1Hits        uint64
+	AMHits        uint64
+	RemoteFetch   uint64
+	ColdFetch     uint64
+	Invalidations uint64
+}
+
+// Snapshot captures L1s, attraction memories, the flat directory, and
+// counters.
+func (s *System) Snapshot() Snapshot {
+	sn := Snapshot{
+		Net:           s.net.Snapshot(),
+		Loads:         s.loads,
+		Stores:        s.stores,
+		L1Hits:        s.l1Hits,
+		AMHits:        s.amHits,
+		RemoteFetch:   s.remoteFetch,
+		ColdFetch:     s.coldFetch,
+		Invalidations: s.invalidations,
+	}
+	for _, c := range s.l1s {
+		sn.L1s = append(sn.L1s, c.Snapshot())
+	}
+	for _, c := range s.ams {
+		sn.AMs = append(sn.AMs, c.Snapshot())
+	}
+	for _, r := range s.memc {
+		sn.Memc = append(sn.Memc, r.State())
+	}
+	for addr, e := range s.dir {
+		sn.Dir = append(sn.Dir, HolderSnap{Addr: uint64(addr), Holders: e.holders, Owner: e.owner})
+	}
+	sort.Slice(sn.Dir, func(i, j int) bool { return sn.Dir[i].Addr < sn.Dir[j].Addr })
+	return sn
+}
+
+// Restore overwrites the system's state from a snapshot taken from a
+// system of identical configuration.
+func (s *System) Restore(sn Snapshot) error {
+	if len(sn.L1s) != len(s.l1s) || len(sn.AMs) != len(s.ams) || len(sn.Memc) != len(s.memc) {
+		return fmt.Errorf("coma: snapshot topology mismatch")
+	}
+	for i := range s.l1s {
+		if err := s.l1s[i].Restore(sn.L1s[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.ams {
+		if err := s.ams[i].Restore(sn.AMs[i]); err != nil {
+			return err
+		}
+	}
+	for i, st := range sn.Memc {
+		s.memc[i].SetState(st)
+	}
+	if err := s.net.Restore(sn.Net); err != nil {
+		return err
+	}
+	s.dir = make(map[mem.PhysAddr]*holderEntry, len(sn.Dir))
+	for _, e := range sn.Dir {
+		s.dir[mem.PhysAddr(e.Addr)] = &holderEntry{holders: e.Holders, owner: e.Owner}
+	}
+	s.loads = sn.Loads
+	s.stores = sn.Stores
+	s.l1Hits = sn.L1Hits
+	s.amHits = sn.AMHits
+	s.remoteFetch = sn.RemoteFetch
+	s.coldFetch = sn.ColdFetch
+	s.invalidations = sn.Invalidations
+	return nil
+}

@@ -253,8 +253,6 @@ func (s *Sim) spawn(name string, body func(*frontend.Proc), daemon bool) *fronte
 }
 
 // ProcIsDaemon reports whether pid is a daemon process (backend context).
-
-// ProcIsDaemon reports whether pid is a daemon process (backend context).
 func (s *Sim) ProcIsDaemon(pid int) bool { return s.procs[pid].daemon }
 
 // SpawnLocked is Spawn for callers already holding the hub lock (KCall

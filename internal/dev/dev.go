@@ -46,23 +46,24 @@ func DefaultRTCConfig() RTCConfig {
 type RTC struct {
 	sim   *core.Sim
 	cfg   RTCConfig
+	armed *event.Task
 	Ticks uint64
 }
 
 // NewRTC starts the clock (backend setup context).
 func NewRTC(sim *core.Sim, cfg RTCConfig) *RTC {
 	r := &RTC{sim: sim, cfg: cfg}
-	r.arm()
+	r.armAt(r.cfg.TickCycles)
 	return r
 }
 
-func (r *RTC) arm() {
-	r.sim.ScheduleTask(r.cfg.TickCycles, "rtc-tick", true, func() {
+func (r *RTC) armAt(delay event.Cycle) {
+	r.armed = r.sim.ScheduleTask(delay, "rtc-tick", true, func() {
 		r.Ticks++
 		for c := 0; c < r.sim.CPUs(); c++ {
 			r.sim.RaiseInterrupt(c, r.sim.CurTime(), r.cfg.HandlerCycles, nil)
 		}
-		r.arm()
+		r.armAt(r.cfg.TickCycles)
 	})
 }
 

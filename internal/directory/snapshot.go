@@ -1,0 +1,137 @@
+package directory
+
+import (
+	"fmt"
+	"sort"
+
+	"compass/internal/cache"
+	"compass/internal/event"
+	"compass/internal/mem"
+	"compass/internal/noc"
+)
+
+// DirEntrySnap is one directory entry, keyed by line address. Entries are
+// serialized in address order so encoded snapshots are byte-deterministic.
+type DirEntrySnap struct {
+	Addr    uint64
+	State   uint8
+	Owner   int
+	Sharers uint64
+}
+
+// HeatSnap is one frame's migration streak.
+type HeatSnap struct {
+	Frame  uint64
+	Node   int
+	Streak int
+}
+
+// Snapshot is the serializable state of the CC-NUMA memory system.
+type Snapshot struct {
+	L1, L2 []cache.Snapshot
+	Busses []event.ResourceState
+	Memctl []event.ResourceState
+	Net    noc.Snapshot
+	Dirs   [][]DirEntrySnap // per home node, address-sorted
+	Heat   []HeatSnap       // frame-sorted
+
+	Loads, Stores         uint64
+	L1Hits, L2Hits        uint64
+	LocalMiss, RemoteMiss uint64
+	ThreeHop              uint64
+	Invalidations         uint64
+	Writebacks            uint64
+	Migrations            uint64
+}
+
+// Snapshot captures caches, per-node resources, directories, and counters.
+// The HomeFunc and migration callback are wiring, not state; the restored
+// system keeps its own.
+func (s *System) Snapshot() Snapshot {
+	sn := Snapshot{
+		Net:           s.net.Snapshot(),
+		Loads:         s.loads,
+		Stores:        s.stores,
+		L1Hits:        s.l1Hits,
+		L2Hits:        s.l2Hits,
+		LocalMiss:     s.localMiss,
+		RemoteMiss:    s.remoteMiss,
+		ThreeHop:      s.threeHop,
+		Invalidations: s.invalidations,
+		Writebacks:    s.writebacks,
+		Migrations:    s.migrations,
+	}
+	for _, c := range s.cpus {
+		sn.L1 = append(sn.L1, c.l1.Snapshot())
+		sn.L2 = append(sn.L2, c.l2.Snapshot())
+	}
+	for _, r := range s.busses {
+		sn.Busses = append(sn.Busses, r.State())
+	}
+	for _, r := range s.memctl {
+		sn.Memctl = append(sn.Memctl, r.State())
+	}
+	for _, d := range s.dirs {
+		var es []DirEntrySnap
+		for addr, e := range d {
+			es = append(es, DirEntrySnap{Addr: uint64(addr), State: uint8(e.state), Owner: e.owner, Sharers: e.sharers})
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].Addr < es[j].Addr })
+		sn.Dirs = append(sn.Dirs, es)
+	}
+	for frame, h := range s.heat {
+		sn.Heat = append(sn.Heat, HeatSnap{Frame: frame, Node: h.node, Streak: h.streak})
+	}
+	sort.Slice(sn.Heat, func(i, j int) bool { return sn.Heat[i].Frame < sn.Heat[j].Frame })
+	return sn
+}
+
+// Restore overwrites the system's state from a snapshot taken from a
+// system of identical configuration.
+func (s *System) Restore(sn Snapshot) error {
+	if len(sn.L1) != len(s.cpus) || len(sn.L2) != len(s.cpus) {
+		return fmt.Errorf("directory: snapshot has %d/%d caches, system has %d CPUs", len(sn.L1), len(sn.L2), len(s.cpus))
+	}
+	if len(sn.Busses) != len(s.busses) || len(sn.Memctl) != len(s.memctl) || len(sn.Dirs) != len(s.dirs) {
+		return fmt.Errorf("directory: snapshot node count mismatch")
+	}
+	for i := range s.cpus {
+		if err := s.cpus[i].l1.Restore(sn.L1[i]); err != nil {
+			return err
+		}
+		if err := s.cpus[i].l2.Restore(sn.L2[i]); err != nil {
+			return err
+		}
+	}
+	for i, st := range sn.Busses {
+		s.busses[i].SetState(st)
+	}
+	for i, st := range sn.Memctl {
+		s.memctl[i].SetState(st)
+	}
+	if err := s.net.Restore(sn.Net); err != nil {
+		return err
+	}
+	for n, es := range sn.Dirs {
+		d := make(map[mem.PhysAddr]*dirEntry, len(es))
+		for _, e := range es {
+			d[mem.PhysAddr(e.Addr)] = &dirEntry{state: dirState(e.State), owner: e.Owner, sharers: e.Sharers}
+		}
+		s.dirs[n] = d
+	}
+	s.heat = make(map[uint64]*frameHeat, len(sn.Heat))
+	for _, h := range sn.Heat {
+		s.heat[h.Frame] = &frameHeat{node: h.Node, streak: h.Streak}
+	}
+	s.loads = sn.Loads
+	s.stores = sn.Stores
+	s.l1Hits = sn.L1Hits
+	s.l2Hits = sn.L2Hits
+	s.localMiss = sn.LocalMiss
+	s.remoteMiss = sn.RemoteMiss
+	s.threeHop = sn.ThreeHop
+	s.invalidations = sn.Invalidations
+	s.writebacks = sn.Writebacks
+	s.migrations = sn.Migrations
+	return nil
+}

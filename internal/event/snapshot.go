@@ -1,0 +1,55 @@
+package event
+
+import "fmt"
+
+// QueueState is the serializable scheduler clock state. Pending tasks are
+// deliberately NOT part of it: checkpoints are taken at a quiescent point
+// where the only queued tasks are re-armable daemon timers, which their
+// owners re-schedule after restore.
+type QueueState struct {
+	Now        Cycle
+	Seq        uint64
+	Dispatched uint64
+}
+
+// State captures the clock, tie-break sequence, and dispatch counter.
+func (q *Queue) State() QueueState {
+	return QueueState{Now: q.now, Seq: q.seq, Dispatched: q.dispatched}
+}
+
+// SetState overwrites the clock state. It panics if tasks are still queued:
+// a pending task scheduled before the restored Now would make time regress.
+// Callers cancel stale construction-time timers first, re-arm them, and
+// call SetState last so re-arming does not perturb the tie-break sequence
+// shared with the uninterrupted run.
+func (q *Queue) SetState(st QueueState) {
+	for _, t := range q.heap {
+		if t.when < st.Now {
+			panic(fmt.Sprintf("event: SetState(now=%d) with task %q pending at %d", st.Now, t.label, t.when))
+		}
+	}
+	q.now = st.Now
+	q.seq = st.Seq
+	q.dispatched = st.Dispatched
+}
+
+// ResourceState is the serializable busy-until state of a Resource.
+type ResourceState struct {
+	NextFree Cycle
+	Busy     Cycle
+	Waits    Cycle
+	Requests uint64
+}
+
+// State captures the resource's occupancy state.
+func (r *Resource) State() ResourceState {
+	return ResourceState{NextFree: r.nextFree, Busy: r.Busy, Waits: r.Waits, Requests: r.Requests}
+}
+
+// SetState overwrites the resource's occupancy state.
+func (r *Resource) SetState(st ResourceState) {
+	r.nextFree = st.NextFree
+	r.Busy = st.Busy
+	r.Waits = st.Waits
+	r.Requests = st.Requests
+}

@@ -371,3 +371,21 @@ func (p *Proc) KTouchRange(va mem.VirtAddr, n int, write bool) {
 // for measurement windows (call it at a barrier between the warmup and
 // measured phases).
 func (p *Proc) ResetAccount() { p.account.Reset() }
+
+// Tombstone builds an already-exited placeholder Proc carrying a restored
+// time account. The checkpoint subsystem installs tombstones for processes
+// that had exited by save time, preserving process-id continuity (new
+// spawns continue from the same id) and per-process cycle baselines, so
+// aggregate reports match the uninterrupted run. A tombstone has no
+// goroutine and never posts events.
+func Tombstone(id int, name string, cycles []uint64) *Proc {
+	p := &Proc{
+		id:    id,
+		name:  name,
+		modes: []stats.Mode{stats.ModeUser},
+		on:    true,
+	}
+	p.exited = true
+	p.account.RestoreSnapshot(cycles)
+	return p
+}

@@ -1,0 +1,117 @@
+package fs
+
+import (
+	"fmt"
+	"sort"
+
+	"compass/internal/mem"
+)
+
+// InodeSnap is one file's metadata, including the kernel address of its
+// instrumented inode record.
+type InodeSnap struct {
+	ID     int
+	Name   string
+	Size   int64
+	Blocks []int
+	KVA    uint32
+}
+
+// BufferSnap is one buffer-cache entry. Only frontend-owned fields appear:
+// at a quiescent checkpoint no I/O is in flight, so loading/kernelBusy are
+// false and the wait queue is empty.
+type BufferSnap struct {
+	Block   int
+	Data    []byte
+	KVA     uint32
+	Dirty   bool
+	Version uint64
+	LRUSeq  uint64
+}
+
+// Snapshot is the filesystem's serializable state. Inodes are ID-ordered
+// (their creation order) and buffers block-sorted for deterministic
+// encoding.
+type Snapshot struct {
+	Inodes    []InodeSnap
+	NextBlock int
+	Buffers   []BufferSnap
+	LRUSeq    uint64
+	FreeKVAs  []uint32
+
+	Hits, Misses    uint64
+	ReadsB, WritesB uint64
+	Prefetches      uint64
+}
+
+// Snapshot captures the namespace, buffer cache, and counters. It returns
+// an error if any buffer still has I/O in flight (not quiescent).
+func (f *FS) Snapshot() (Snapshot, error) {
+	s := Snapshot{
+		NextBlock:  f.nextBlock,
+		LRUSeq:     f.lruSeq,
+		Hits:       f.Hits,
+		Misses:     f.Misses,
+		ReadsB:     f.ReadsB,
+		WritesB:    f.WritesB,
+		Prefetches: f.Prefetches,
+	}
+	for _, ino := range f.inodes {
+		s.Inodes = append(s.Inodes, InodeSnap{
+			ID: ino.ID, Name: ino.Name, Size: ino.Size,
+			Blocks: append([]int(nil), ino.Blocks...), KVA: uint32(ino.kva),
+		})
+	}
+	for _, kva := range f.freeKVAs {
+		s.FreeKVAs = append(s.FreeKVAs, uint32(kva))
+	}
+	for block, buf := range f.cache {
+		if buf.loading || buf.kernelBusy {
+			return Snapshot{}, fmt.Errorf("fs: buffer for block %d has I/O in flight", block)
+		}
+		s.Buffers = append(s.Buffers, BufferSnap{
+			Block: buf.block, Data: append([]byte(nil), buf.data...), KVA: uint32(buf.kva),
+			Dirty: buf.dirty, Version: buf.version, LRUSeq: buf.lruSeq,
+		})
+	}
+	sort.Slice(s.Buffers, func(i, j int) bool { return s.Buffers[i].Block < s.Buffers[j].Block })
+	return s, nil
+}
+
+// Restore overwrites the filesystem's state. Fresh wait queues are created
+// for every buffer; they were empty at save time.
+func (f *FS) Restore(s Snapshot) error {
+	f.files = make(map[string]*Inode, len(s.Inodes))
+	f.inodes = f.inodes[:0]
+	for i, is := range s.Inodes {
+		if is.ID != i {
+			return fmt.Errorf("fs: snapshot inode %q has ID %d at position %d", is.Name, is.ID, i)
+		}
+		ino := &Inode{
+			ID: is.ID, Name: is.Name, Size: is.Size,
+			Blocks: append([]int(nil), is.Blocks...), kva: mem.VirtAddr(is.KVA),
+		}
+		f.files[ino.Name] = ino
+		f.inodes = append(f.inodes, ino)
+	}
+	f.nextBlock = s.NextBlock
+	f.lruSeq = s.LRUSeq
+	f.freeKVAs = f.freeKVAs[:0]
+	for _, kva := range s.FreeKVAs {
+		f.freeKVAs = append(f.freeKVAs, mem.VirtAddr(kva))
+	}
+	f.cache = make(map[int]*buffer, len(s.Buffers))
+	for _, bs := range s.Buffers {
+		f.cache[bs.Block] = &buffer{
+			block: bs.Block, data: append([]byte(nil), bs.Data...), kva: mem.VirtAddr(bs.KVA),
+			dirty: bs.Dirty, version: bs.Version, lruSeq: bs.LRUSeq,
+			ioWait: f.k.NewWaitQueue(fmt.Sprintf("buf%d", bs.Block)),
+		}
+	}
+	f.Hits = s.Hits
+	f.Misses = s.Misses
+	f.ReadsB = s.ReadsB
+	f.WritesB = s.WritesB
+	f.Prefetches = s.Prefetches
+	return nil
+}

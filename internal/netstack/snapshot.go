@@ -1,0 +1,63 @@
+package netstack
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ListenerSnap is one listening socket. The pre-fork server model leaves
+// listeners bound across a quiescent point (workers exit without closing
+// the shared socket), so they are checkpoint state.
+type ListenerSnap struct {
+	Port   int
+	Closed bool
+}
+
+// Snapshot is the stack's serializable state, listeners port-sorted. Live
+// connections cannot be serialized (their owners are goroutines); Snapshot
+// refuses when any exist.
+type Snapshot struct {
+	Listeners []ListenerSnap
+	MbufSeq   uint64
+	NextLoop  int
+
+	RxPackets, TxPackets uint64
+	Accepts, Drops       uint64
+}
+
+// Snapshot captures listeners and counters. It returns an error when a
+// connection is still open or a listener has an un-accepted connection
+// queued (not quiescent).
+func (s *Stack) Snapshot() (Snapshot, error) {
+	if len(s.conns) != 0 {
+		return Snapshot{}, fmt.Errorf("netstack: %d connections still open", len(s.conns))
+	}
+	sn := Snapshot{
+		MbufSeq: s.mbufSeq, NextLoop: s.nextLoop,
+		RxPackets: s.RxPackets, TxPackets: s.TxPackets,
+		Accepts: s.Accepts, Drops: s.Drops,
+	}
+	for port, l := range s.listeners {
+		if len(l.acceptQ) != 0 {
+			return Snapshot{}, fmt.Errorf("netstack: listener %d has %d queued connections", port, len(l.acceptQ))
+		}
+		sn.Listeners = append(sn.Listeners, ListenerSnap{Port: l.Port, Closed: l.closed})
+	}
+	sort.Slice(sn.Listeners, func(i, j int) bool { return sn.Listeners[i].Port < sn.Listeners[j].Port })
+	return sn, nil
+}
+
+// Restore overwrites the stack's state.
+func (s *Stack) Restore(sn Snapshot) {
+	s.listeners = make(map[int]*Listener, len(sn.Listeners))
+	for _, ls := range sn.Listeners {
+		s.listeners[ls.Port] = &Listener{Port: ls.Port, closed: ls.Closed}
+	}
+	s.conns = make(map[int]*Conn)
+	s.mbufSeq = sn.MbufSeq
+	s.nextLoop = sn.NextLoop
+	s.RxPackets = sn.RxPackets
+	s.TxPackets = sn.TxPackets
+	s.Accepts = sn.Accepts
+	s.Drops = sn.Drops
+}

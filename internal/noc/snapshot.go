@@ -1,0 +1,48 @@
+package noc
+
+import (
+	"fmt"
+
+	"compass/internal/event"
+)
+
+// Snapshot is the network's serializable state (port occupancy + traffic
+// counters); topology is rebuilt from Config.
+type Snapshot struct {
+	Inject   []event.ResourceState
+	Eject    []event.ResourceState
+	Messages uint64
+	Bytes    uint64
+	HopsSum  uint64
+}
+
+// Snapshot captures port occupancy and traffic counters.
+func (n *Network) Snapshot() Snapshot {
+	s := Snapshot{Messages: n.Messages, Bytes: n.Bytes, HopsSum: n.HopsSum}
+	for _, r := range n.inject {
+		s.Inject = append(s.Inject, r.State())
+	}
+	for _, r := range n.eject {
+		s.Eject = append(s.Eject, r.State())
+	}
+	return s
+}
+
+// Restore overwrites the network's state from a snapshot taken from a
+// network of identical topology.
+func (n *Network) Restore(s Snapshot) error {
+	if len(s.Inject) != len(n.inject) || len(s.Eject) != len(n.eject) {
+		return fmt.Errorf("noc: snapshot has %d/%d ports, network has %d/%d",
+			len(s.Inject), len(s.Eject), len(n.inject), len(n.eject))
+	}
+	for i, st := range s.Inject {
+		n.inject[i].SetState(st)
+	}
+	for i, st := range s.Eject {
+		n.eject[i].SetState(st)
+	}
+	n.Messages = s.Messages
+	n.Bytes = s.Bytes
+	n.HopsSum = s.HopsSum
+	return nil
+}

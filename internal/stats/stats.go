@@ -215,3 +215,16 @@ func (c *Counters) Diff(prev *Counters) *Counters {
 // Reset zeroes every cycle bucket (the warmup-discard hook: reset at the
 // start of the measured phase).
 func (a *TimeAccount) Reset() { a.cycles = [numModes]uint64{} }
+
+// Snapshot returns the per-mode cycle totals in Mode order (checkpoint
+// serialization).
+func (a *TimeAccount) Snapshot() []uint64 { return append([]uint64(nil), a.cycles[:]...) }
+
+// RestoreSnapshot overwrites the per-mode totals from a Snapshot slice.
+// Extra entries (a future mode the snapshot writer knew about) are ignored.
+func (a *TimeAccount) RestoreSnapshot(c []uint64) {
+	a.cycles = [numModes]uint64{}
+	for i := 0; i < len(c) && i < int(numModes); i++ {
+		a.cycles[i] = c[i]
+	}
+}

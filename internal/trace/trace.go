@@ -29,18 +29,22 @@ type Request struct {
 // Trace is an ordered request list.
 type Trace []Request
 
-// Save writes the trace in its text format ("GET <path> <size>").
+// Save writes the trace in its text format (`GET "<path>" <size>`). Paths
+// are Go-quoted so that spaces, empty paths and control characters survive
+// the round trip — Load(Save(t)) == t for any trace.
 func (t Trace) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, r := range t {
-		if _, err := fmt.Fprintf(bw, "GET %s %d\n", r.Path, r.Size); err != nil {
+		if _, err := fmt.Fprintf(bw, "GET %q %d\n", r.Path, r.Size); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// Load parses the text format.
+// Load parses the text format. It accepts both the quoted-path form Save
+// writes and the legacy unquoted form ("GET <path> <size>") of traces
+// recorded before paths were quoted.
 func Load(r io.Reader) (Trace, error) {
 	var t Trace
 	sc := bufio.NewScanner(r)
@@ -51,7 +55,11 @@ func Load(r io.Reader) (Trace, error) {
 		}
 		var path string
 		var size int
-		if _, err := fmt.Sscanf(line, "GET %s %d", &path, &size); err != nil {
+		format := "GET %s %d"
+		if strings.HasPrefix(line, `GET "`) {
+			format = "GET %q %d"
+		}
+		if _, err := fmt.Sscanf(line, format, &path, &size); err != nil {
 			return nil, fmt.Errorf("trace: bad line %q: %v", line, err)
 		}
 		t = append(t, Request{Path: path, Size: size})

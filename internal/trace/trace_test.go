@@ -169,3 +169,56 @@ func TestPlayerEmptyTraceJustQuits(t *testing.T) {
 		t.Errorf("completed %d on an empty trace", p.Completed)
 	}
 }
+
+// The quoted format must round-trip paths the legacy unquoted one could
+// not: spaces, empty paths, quotes, control characters.
+func TestRoundTripOddPaths(t *testing.T) {
+	in := Trace{
+		{Path: "/with space/file.html", Size: 7},
+		{Path: "", Size: 0},
+		{Path: `/quo"ted\back`, Size: 1 << 30},
+		{Path: "/tab\there", Size: 3},
+		{Path: "/uni/𝛑", Size: 9},
+	}
+	var buf bytes.Buffer
+	if err := in.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip %d entries, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("entry %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestRoundTripEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Trace(nil).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty trace wrote %d bytes", buf.Len())
+	}
+	out, err := Load(&buf)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("len=%d err=%v", len(out), err)
+	}
+}
+
+// Traces recorded before paths were quoted must still load.
+func TestLoadLegacyUnquoted(t *testing.T) {
+	tr, err := Load(strings.NewReader("GET /old/style 42\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 1 || tr[0] != (Request{Path: "/old/style", Size: 42}) {
+		t.Errorf("got %+v", tr)
+	}
+}

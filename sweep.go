@@ -1,8 +1,10 @@
 package compass
 
 import (
+	"bytes"
 	"fmt"
 
+	"compass/internal/checkpoint"
 	"compass/internal/frontend"
 	"compass/internal/isa"
 	"compass/internal/machine"
@@ -20,19 +22,62 @@ import (
 // drops).
 func RunBatchSweep(cfg Config, batch, stores int) uint64 {
 	m := machine.New(cfg)
-	for i := 0; i < cfg.CPUs; i++ {
+	spawnSweepProcs(m, cfg.CPUs, 0, batch, stores)
+	end := m.Sim.Run()
+	return uint64(end)
+}
+
+// spawnSweepProcs spawns n strided-store processes named sweep<base+i>.
+func spawnSweepProcs(m *machine.Machine, n, base, batch, stores int) {
+	for i := 0; i < n; i++ {
 		i := i
-		m.SpawnConnected(fmt.Sprintf("sweep%d", i), func(p *frontend.Proc) {
+		m.SpawnConnected(fmt.Sprintf("sweep%d", base+i), func(p *frontend.Proc) {
 			os := osserver.For(p)
-			base := os.Sbrk(1 << 20)
+			sbase := os.Sbrk(1 << 20)
 			p.SetBatch(batch)
 			for j := 0; j < stores; j++ {
-				p.Store(base+mem.VirtAddr((j*96+i*32)%(1<<20-8)), 4)
+				p.Store(sbase+mem.VirtAddr((j*96+i*32)%(1<<20-8)), 4)
 				p.Compute(isa.ALU(3))
 			}
 			p.SetBatch(1)
 		})
 	}
-	end := m.Sim.Run()
-	return uint64(end)
+}
+
+// BatchSweepPoint is one measurement of a warm-started batch sweep.
+type BatchSweepPoint struct {
+	// Batch is the references-per-event setting of this point.
+	Batch int
+	// End is the final simulated cycle of the resumed run.
+	End uint64
+	// Measured is the cycles this point actually simulated (End minus the
+	// shared warm phase's end cycle).
+	Measured uint64
+}
+
+// RunBatchSweepWarm runs the batch sweep with every point resumed from one
+// in-memory warm snapshot: the warm phase (warmStores strided stores per
+// CPU) is simulated once, checkpointed, and each batch setting restores the
+// snapshot and simulates only its measured phase. Against len(batches) cold
+// starts, the total simulated cycles drop by (len(batches)-1) warm phases.
+// Returns the per-point measurements and the warm phase's end cycle.
+func RunBatchSweepWarm(cfg Config, batches []int, warmStores, stores int) ([]BatchSweepPoint, uint64, error) {
+	m := machine.New(cfg)
+	spawnSweepProcs(m, cfg.CPUs, 0, 1, warmStores)
+	warmEnd := uint64(m.Sim.Run())
+	var snap bytes.Buffer
+	if err := checkpoint.Save(&snap, m); err != nil {
+		return nil, 0, err
+	}
+	points := make([]BatchSweepPoint, 0, len(batches))
+	for _, b := range batches {
+		rm, err := checkpoint.Restore(bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			return nil, 0, err
+		}
+		spawnSweepProcs(rm, cfg.CPUs, cfg.CPUs, b, stores)
+		end := uint64(rm.Sim.Run())
+		points = append(points, BatchSweepPoint{Batch: b, End: end, Measured: end - warmEnd})
+	}
+	return points, warmEnd, nil
 }

@@ -1,0 +1,48 @@
+package compass
+
+import (
+	"testing"
+
+	"compass/internal/stats"
+)
+
+// Golden test for the Table 1 formatter: fixed profiles in, exact text
+// out. Guards the column layout the README and the paper comparison rely
+// on.
+func TestFormatTable1Golden(t *testing.T) {
+	rows := []Table1Row{
+		{
+			Profile: stats.Profile{Name: "SPECWeb/httpd", UserPct: 11.2, OSPct: 88.8,
+				InterruptPct: 37.4, KernelPct: 51.4},
+			PaperUser: 14.9, PaperOS: 85.1, PaperIntr: 37.8, PaperKernel: 47.3,
+		},
+		{
+			Profile: stats.Profile{Name: "TPCD/db", UserPct: 80.0, OSPct: 20.0,
+				InterruptPct: 9.5, KernelPct: 10.5},
+			PaperUser: 81, PaperOS: 19, PaperIntr: 8.6, PaperKernel: 10.4,
+		},
+		{
+			Profile: stats.Profile{Name: "TPCC/db", UserPct: 61.2, OSPct: 38.8,
+				InterruptPct: 22.2, KernelPct: 16.5},
+			PaperUser: 79, PaperOS: 21, PaperIntr: 14.6, PaperKernel: 6.4,
+		},
+	}
+	const want = `benchmark                user   OS total    interrupt     kernel   (paper: user/OS = intr + kernel)
+SPECWeb/httpd           11.2%      88.8%        37.4%      51.4%   (14.9 / 85.1 = 37.8 + 47.3)
+TPCD/db                 80.0%      20.0%         9.5%      10.5%   (81.0 / 19.0 = 8.6 + 10.4)
+TPCC/db                 61.2%      38.8%        22.2%      16.5%   (79.0 / 21.0 = 14.6 + 6.4)
+`
+	got := FormatTable1(rows)
+	if got != want {
+		t.Errorf("FormatTable1 drifted from golden output.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// The empty table still renders its header line.
+func TestFormatTable1Empty(t *testing.T) {
+	const want = `benchmark                user   OS total    interrupt     kernel   (paper: user/OS = intr + kernel)
+`
+	if got := FormatTable1(nil); got != want {
+		t.Errorf("got:\n%q\nwant:\n%q", got, want)
+	}
+}
