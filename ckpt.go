@@ -205,6 +205,7 @@ func RunSPECWebWithOptions(cfg Config, warm, measured SPECWebConfig, workers, co
 			Workers:     workers,
 			Port:        hcfg.Port,
 		})
+		enableClientARQ(warmPlayer, m.Cfg)
 		warmPlayer.Start()
 		m.Sim.Run()
 		base = workers
@@ -228,11 +229,15 @@ func RunSPECWebWithOptions(cfg Config, warm, measured SPECWebConfig, workers, co
 		Workers:     workers,
 		Port:        hcfg.Port,
 	})
+	enableClientARQ(player, m.Cfg)
 	player.Start()
 	end := m.Sim.Run()
 	res := finish("SPECWeb/httpd", m, uint64(end), time.Since(start))
 	res.Extra["requests"] = float64(player.Completed)
 	res.Extra["latency.mean"] = player.Latency.Mean()
+	if player.ARQ() != nil {
+		res.Extra["client.failures"] = float64(player.ClientFailures)
+	}
 	var served, sent uint64
 	for _, s := range st {
 		served += s.Served

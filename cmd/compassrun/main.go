@@ -34,6 +34,7 @@ func main() {
 		syscalls  = flag.Bool("syscalls", false, "dump per-kernel-call profile")
 		syncd     = flag.Uint64("syncd", 0, "buffer-cache flush daemon interval in cycles (0 = off)")
 		migrate   = flag.Int("migrate", 0, "ccnuma page-migration threshold (0 = off)")
+		faults    = flag.String("faults", "", `fault plan, e.g. "seed=7,disk.transient=0.01,net.drop=0.02,mem.ecc=1e-6"`)
 	)
 	flag.Parse()
 
@@ -72,6 +73,14 @@ func main() {
 	cfg.Preemptive = *preempt
 	cfg.SyncdInterval = *syncd
 	cfg.MigrateThreshold = *migrate
+	if *faults != "" {
+		fc, err := compass.ParseFaultSpec(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -faults spec: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = fc
+	}
 
 	var res compass.Result
 	switch *workload {
@@ -104,6 +113,10 @@ func main() {
 	sort.Strings(keys)
 	for _, k := range keys {
 		fmt.Printf("  %-18s %.1f\n", k, res.Extra[k])
+	}
+	if ft := res.FaultTable(); ft != "" {
+		fmt.Println()
+		fmt.Print(ft)
 	}
 	if *counters {
 		fmt.Println()

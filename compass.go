@@ -30,6 +30,7 @@ import (
 	"compass/internal/apps/tpcc"
 	"compass/internal/apps/tpcd"
 	"compass/internal/core"
+	"compass/internal/fault"
 	"compass/internal/frontend"
 	"compass/internal/machine"
 	"compass/internal/mem"
@@ -73,6 +74,14 @@ type Config = machine.Config
 
 // DefaultConfig returns a 4-CPU simple-backend machine.
 func DefaultConfig() Config { return machine.Default() }
+
+// FaultConfig is the deterministic fault plan (Config.Faults); see
+// fault.Config for fields. All-zero rates mean no injection.
+type FaultConfig = fault.Config
+
+// ParseFaultSpec parses a -faults command-line specification such as
+// "seed=42,disk.transient=0.01,net.drop=0.02,mem.ecc=1e-6".
+func ParseFaultSpec(spec string) (FaultConfig, error) { return fault.ParseSpec(spec) }
 
 // Workload configuration aliases.
 type (
@@ -120,9 +129,13 @@ func (r Result) String() string {
 		r.Name, r.Cycles, r.Wall.Seconds(), r.Profile.String())
 }
 
+// FaultTable renders the fault-injection and recovery counters; empty
+// for a fault-free run.
+func (r Result) FaultTable() string { return stats.FormatFaultTable(r.Counters) }
+
 func finish(name string, m *machine.Machine, end uint64, wall time.Duration) Result {
 	total := m.Sim.TotalAccount()
-	return Result{
+	res := Result{
 		Name:     name,
 		Cycles:   end,
 		Profile:  stats.ProfileOf(name, &total),
@@ -130,6 +143,19 @@ func finish(name string, m *machine.Machine, end uint64, wall time.Duration) Res
 		Wall:     wall,
 		Extra:    map[string]float64{},
 		Syscalls: m.OS.FormatSyscallProfile(8),
+	}
+	m.FaultCounters(res.Counters)
+	return res
+}
+
+// enableClientARQ arms the trace player's link-level retransmission when
+// the machine injects network faults — the external client needs the
+// same recovery discipline as the host stack.
+func enableClientARQ(player *trace.Player, cfg Config) {
+	fc := cfg.Faults
+	fc.ApplyDefaults()
+	if fc.NetEnabled() {
+		player.EnableARQ(fc.Net)
 	}
 }
 
@@ -231,12 +257,16 @@ func RunSPECWeb(cfg Config, w SPECWebConfig, workers, concurrency int) Result {
 		Workers:     workers,
 		Port:        hcfg.Port,
 	})
+	enableClientARQ(player, cfg)
 	player.Start()
 	start := time.Now()
 	end := m.Sim.Run()
 	res := finish("SPECWeb/httpd", m, uint64(end), time.Since(start))
 	res.Extra["requests"] = float64(player.Completed)
 	res.Extra["latency.mean"] = player.Latency.Mean()
+	if player.ARQ() != nil {
+		res.Extra["client.failures"] = float64(player.ClientFailures)
+	}
 	var served, bytes uint64
 	for _, s := range st {
 		served += s.Served
@@ -307,12 +337,16 @@ func RunTier3(cfg Config, w Tier3Config, requests int) Result {
 		Workers:     w.WebWorkers,
 		Port:        w.WebPort,
 	})
+	enableClientARQ(player, cfg)
 	player.Start()
 	start := time.Now()
 	end := m.Sim.Run()
 	res := finish("tier3", m, uint64(end), time.Since(start))
 	res.Extra["requests"] = float64(player.Completed)
 	res.Extra["latency.mean"] = player.Latency.Mean()
+	if player.ARQ() != nil {
+		res.Extra["client.failures"] = float64(player.ClientFailures)
+	}
 	var ok uint64
 	for _, s := range st {
 		ok += s.OK

@@ -58,6 +58,10 @@ var ErrNotCheckpointable = machine.ErrNotCheckpointable
 // ErrBadMagic is returned when the stream is not a COMPASS checkpoint.
 var ErrBadMagic = errors.New("checkpoint: bad magic (not a COMPASS checkpoint)")
 
+// ErrTruncated is returned when the stream ends before the fixed header is
+// complete (empty files included). Wrap-checks with errors.Is.
+var ErrTruncated = errors.New("checkpoint: truncated header")
+
 // Section is one named blob of host-side workload state riding along with
 // the machine snapshot (e.g. the database buffer pool's functional mirror).
 type Section struct {
@@ -137,11 +141,18 @@ func SaveSections(w io.Writer, m *machine.Machine, sections []Section) error {
 	return err
 }
 
-// ReadInfo reads just the 80-byte header.
+// ReadInfo reads just the 80-byte header. A stream that ends early returns
+// ErrTruncated, one that doesn't start with the magic returns ErrBadMagic —
+// never a raw io.EOF or gob error.
 func ReadInfo(r io.Reader) (Info, error) {
 	var hdr [headerSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Info{}, fmt.Errorf("checkpoint: short header: %w", err)
+	switch n, err := io.ReadFull(r, hdr[:]); {
+	case errors.Is(err, io.EOF):
+		return Info{}, fmt.Errorf("%w: empty stream", ErrTruncated)
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		return Info{}, fmt.Errorf("%w: %d of %d header bytes", ErrTruncated, n, headerSize)
+	case err != nil:
+		return Info{}, fmt.Errorf("checkpoint: read header: %w", err)
 	}
 	if !bytes.Equal(hdr[0:12], magic[:]) {
 		return Info{}, ErrBadMagic
@@ -173,6 +184,9 @@ func RestoreFull(r io.Reader) (*machine.Machine, map[string][]byte, error) {
 	}
 	var body payload
 	if err := gob.NewDecoder(r).Decode(&body); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, nil, fmt.Errorf("checkpoint: truncated body: %w", err)
+		}
 		return nil, nil, fmt.Errorf("checkpoint: decode: %w", err)
 	}
 	if body.Machine == nil {

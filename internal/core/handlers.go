@@ -84,6 +84,9 @@ func (s *Sim) handleMem(p *procInfo, ev *comm.Event) {
 		}
 		s.phys.Touch(pa.Frame(), node)
 		t = s.model.Access(t, p.cpu, pa, ref.Write)
+		if s.ecc != nil {
+			t += event.Cycle(s.ecc.Sample())
+		}
 	}
 	r := comm.Reply{Done: t, CPU: p.cpu, Stolen: stolen}
 	if s.maybePreempt(p, r) {
@@ -118,6 +121,9 @@ func (s *Sim) handleRMW(p *procInfo, ev *comm.Event) {
 		}
 	}
 	t = s.model.Access(t, p.cpu, pa, true)
+	if s.ecc != nil {
+		t += event.Cycle(s.ecc.Sample())
+	}
 	s.counters.Inc("sync.rmw", 1)
 	r := comm.Reply{Done: t, CPU: p.cpu, Stolen: stolen, Value: old}
 	if s.maybePreempt(p, r) {

@@ -128,6 +128,7 @@ type Sim struct {
 	shm    *mem.ShmRegistry
 	kernel *mem.Space
 	model  memsys.Model
+	ecc    *mem.ECC
 
 	procs   []*procInfo
 	cpus    []cpuInfo
@@ -195,6 +196,13 @@ func (s *Sim) Model() memsys.Model { return s.model }
 
 // Hub returns the communicator.
 func (s *Sim) Hub() *comm.Hub { return s.hub }
+
+// SetECC installs an ECC-correctable-event sampler charged on every
+// memory reference. Nil disables sampling (the default).
+func (s *Sim) SetECC(e *mem.ECC) { s.ecc = e }
+
+// ECC returns the installed sampler, or nil.
+func (s *Sim) ECC() *mem.ECC { return s.ecc }
 
 // CPUs returns the simulated CPU count.
 func (s *Sim) CPUs() int { return s.cfg.CPUs }

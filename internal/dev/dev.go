@@ -9,6 +9,7 @@ import (
 
 	"compass/internal/core"
 	"compass/internal/event"
+	"compass/internal/fault"
 	"compass/internal/mem"
 )
 
@@ -115,6 +116,7 @@ type Disk struct {
 	sim    *core.Sim
 	cfg    DiskConfig
 	irq    irqRouter
+	inj    *fault.DiskInjector
 	data   map[int][]byte
 	ringVA mem.VirtAddr // kernel addresses the handler touches
 
@@ -135,7 +137,7 @@ type diskReq struct {
 	write  bool
 	bytes  int
 	seq    uint64
-	onDone func(done event.Cycle)
+	onDone func(done event.Cycle, st fault.DiskStatus)
 }
 
 // NewDisk creates a disk (setup context). A small kernel-space ring of
@@ -180,11 +182,31 @@ func (d *Disk) WriteBlock(block int, src []byte) {
 	d.data[block] = b
 }
 
+// SetInjector installs a deterministic fault injector (setup context).
+// Nil disables fault injection (the default).
+func (d *Disk) SetInjector(inj *fault.DiskInjector) { d.inj = inj }
+
+// Injector returns the installed fault injector, or nil.
+func (d *Disk) Injector() *fault.DiskInjector { return d.inj }
+
 // SubmitAt queues an I/O for `bytes` bytes targeting `block` and arranges
 // for onDone to run at completion time, after the completion interrupt is
 // raised (backend context). Queued requests are served FIFO or by the SCAN
-// elevator per the configuration.
+// elevator per the configuration. Callers that cannot observe injected
+// faults use this shape; the filesystem uses SubmitAtStatus.
 func (d *Disk) SubmitAt(block int, write bool, bytes int, onDone func(done event.Cycle)) {
+	var wrapped func(done event.Cycle, st fault.DiskStatus)
+	if onDone != nil {
+		wrapped = func(done event.Cycle, _ fault.DiskStatus) { onDone(done) }
+	}
+	d.SubmitAtStatus(block, write, bytes, wrapped)
+}
+
+// SubmitAtStatus is SubmitAt but reports the I/O outcome: OK, a transient
+// media error, or a permanent bad block. Failed requests still occupy the
+// arm for the full service time and raise a completion interrupt — the
+// controller reports the error, it does not vanish.
+func (d *Disk) SubmitAtStatus(block int, write bool, bytes int, onDone func(done event.Cycle, st fault.DiskStatus)) {
 	if write {
 		d.Writes++
 	} else {
@@ -215,6 +237,15 @@ func (d *Disk) kick() {
 	d.busy = true
 
 	service := d.serviceTime(req)
+	status := fault.DiskOK
+	if d.inj != nil {
+		st, slowMul := d.inj.Decide(uint64(d.sim.CurTime()), req.block)
+		status = st
+		if slowMul > 1 {
+			// Stuck/slow sector: extra retries inside the drive.
+			service *= event.Cycle(slowMul)
+		}
+	}
 	d.BusyCycles += service
 	d.head = req.block
 	d.sim.ScheduleTask(service, "disk-complete", false, func() {
@@ -229,7 +260,7 @@ func (d *Disk) kick() {
 		}
 		d.sim.RaiseInterrupt(cpu, d.sim.CurTime(), d.cfg.HandlerCycles, touches)
 		if req.onDone != nil {
-			req.onDone(d.sim.CurTime())
+			req.onDone(d.sim.CurTime(), status)
 		}
 		d.kick()
 	})
@@ -315,6 +346,7 @@ func DefaultNICConfig() NICConfig {
 type Packet struct {
 	Conn    int // connection id assigned by the stack / client
 	Flags   PacketFlags
+	Seq     uint32 // per-connection frame sequence (link-level ARQ)
 	Payload []byte
 }
 
@@ -326,6 +358,9 @@ const (
 	FlagSYN PacketFlags = 1 << iota
 	// FlagFIN closes a connection.
 	FlagFIN
+	// FlagACK acknowledges a received frame (link-level ARQ; carries no
+	// payload).
+	FlagACK
 )
 
 // NIC is the simulated Ethernet adapter. The receive path delivers into a
@@ -336,6 +371,7 @@ type NIC struct {
 	cfg  NICConfig
 	wire *event.Resource
 	irq  irqRouter
+	inj  *fault.NetInjector
 	ring mem.VirtAddr
 
 	// OnReceive is invoked in backend context when a packet arrives from
@@ -369,20 +405,42 @@ func (n *NIC) touches(count int, seed uint64) []core.KernelTouch {
 	return out
 }
 
+// SetInjector installs a deterministic fault injector on both wire
+// directions (setup context). Nil disables fault injection (the default).
+func (n *NIC) SetInjector(inj *fault.NetInjector) { n.inj = inj }
+
+// Injector returns the installed fault injector, or nil.
+func (n *NIC) Injector() *fault.NetInjector { return n.inj }
+
 // Inject delivers a packet from the external peer to the host at `delay`
 // cycles from now (backend context): wire time, then RX interrupt, then
-// the stack's OnReceive.
+// the stack's OnReceive. With an injector, the frame may be dropped on
+// the wire (no interrupt), arrive corrupted (the NIC's CRC check fires
+// the interrupt but discards the frame) or be duplicated by the switch.
 func (n *NIC) Inject(pkt Packet, delay event.Cycle) {
 	n.sim.ScheduleTask(delay, "eth-rx", false, func() {
 		at := n.wire.Acquire(n.sim.CurTime(), event.Cycle(float64(len(pkt.Payload))*n.cfg.PerByteCycles))
 		at += n.cfg.WireCycles
 		n.sim.ScheduleTask(at-n.sim.CurTime(), "eth-rx-intr", false, func() {
+			verdict := fault.Deliver
+			if n.inj != nil {
+				verdict = n.inj.DecideRx(uint64(n.sim.CurTime()))
+			}
+			if verdict == fault.Drop {
+				return // lost on the wire: the host never sees it
+			}
 			n.RxPackets++
 			n.RxBytes += uint64(len(pkt.Payload))
 			cpu := n.irq.route()
 			n.sim.RaiseInterrupt(cpu, n.sim.CurTime(), n.cfg.HandlerCycles, n.touches(n.cfg.HandlerTouches, n.RxPackets))
+			if verdict == fault.Corrupt {
+				return // CRC failure: interrupt fired, frame discarded
+			}
 			if n.OnReceive != nil {
 				n.OnReceive(pkt, n.sim.CurTime())
+				if verdict == fault.Duplicate {
+					n.OnReceive(pkt, n.sim.CurTime())
+				}
 			}
 		})
 	})
@@ -404,8 +462,18 @@ func (n *NIC) Transmit(pkt Packet, at event.Cycle) {
 	})
 	arrive := txDone + n.cfg.WireCycles
 	n.sim.ScheduleTask(arrive-n.sim.CurTime(), "eth-deliver", false, func() {
+		verdict := fault.Deliver
+		if n.inj != nil {
+			verdict = n.inj.DecideTx(uint64(n.sim.CurTime()))
+		}
+		if verdict == fault.Drop || verdict == fault.Corrupt {
+			return // lost or mangled before the far end; peer's ARQ recovers
+		}
 		if n.OnTransmit != nil {
 			n.OnTransmit(pkt, n.sim.CurTime())
+			if verdict == fault.Duplicate {
+				n.OnTransmit(pkt, n.sim.CurTime())
+			}
 		}
 	})
 }

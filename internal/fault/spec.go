@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the -faults command-line specification: a
+// comma-separated key=value list, e.g.
+//
+//	seed=42,disk.transient=0.01,disk.bad=0.002,net.drop=0.02,mem.ecc=1e-6
+//
+// Keys: seed; disk.transient, disk.slow, disk.slowfactor, disk.bad,
+// disk.retries, disk.backoff; net.drop, net.corrupt, net.dup, net.flap,
+// net.flapdown, net.timeout, net.retries; mem.ecc, mem.ecccost.
+// Recovery knobs left unset take their defaults (ApplyDefaults).
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	if strings.TrimSpace(spec) == "" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("fault: bad spec entry %q (want key=value)", kv)
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		var err error
+		switch k {
+		case "seed":
+			c.Seed, err = strconv.ParseUint(v, 0, 64)
+		case "disk.transient":
+			c.Disk.TransientRate, err = rate(v)
+		case "disk.slow":
+			c.Disk.SlowRate, err = rate(v)
+		case "disk.slowfactor":
+			c.Disk.SlowFactor, err = strconv.Atoi(v)
+		case "disk.bad":
+			c.Disk.BadBlockRate, err = rate(v)
+		case "disk.retries":
+			c.Disk.MaxRetries, err = strconv.Atoi(v)
+		case "disk.backoff":
+			c.Disk.RetryBackoff, err = strconv.ParseUint(v, 0, 64)
+		case "net.drop":
+			c.Net.DropRate, err = rate(v)
+		case "net.corrupt":
+			c.Net.CorruptRate, err = rate(v)
+		case "net.dup":
+			c.Net.DupRate, err = rate(v)
+		case "net.flap":
+			c.Net.FlapRate, err = rate(v)
+		case "net.flapdown":
+			c.Net.FlapDownCycles, err = strconv.ParseUint(v, 0, 64)
+		case "net.timeout":
+			c.Net.RetransmitTimeout, err = strconv.ParseUint(v, 0, 64)
+		case "net.retries":
+			c.Net.MaxRetransmits, err = strconv.Atoi(v)
+		case "mem.ecc":
+			c.Mem.ECCRate, err = rate(v)
+		case "mem.ecccost":
+			c.Mem.ECCCost, err = strconv.ParseUint(v, 0, 64)
+		default:
+			return Config{}, fmt.Errorf("fault: unknown spec key %q", k)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("fault: bad value for %q: %v", k, err)
+		}
+	}
+	return c, nil
+}
+
+func rate(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("rate %v outside [0,1]", f)
+	}
+	return f, nil
+}

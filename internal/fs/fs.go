@@ -16,6 +16,7 @@ import (
 
 	"compass/internal/dev"
 	"compass/internal/event"
+	"compass/internal/fault"
 	"compass/internal/frontend"
 	"compass/internal/kernel"
 	"compass/internal/mem"
@@ -61,6 +62,7 @@ type buffer struct {
 	lruSeq     uint64
 	// Backend-owned:
 	loading bool
+	failed  bool // media read gave up; repaired on the next demand access
 	ioWait  *kernel.WaitQueue
 }
 
@@ -79,10 +81,18 @@ type FS struct {
 	lruSeq   uint64
 	freeKVAs []mem.VirtAddr
 
+	// rec, when non-nil, enables media-error recovery: bounded retry with
+	// exponential backoff plus bad-block remapping through remap
+	// (logical → spare physical block; the cache stays keyed by logical).
+	rec   *fault.DiskConfig
+	remap map[int]int
+
 	Hits, Misses    uint64
 	ReadsB, WritesB uint64
 	Prefetches      uint64
-	inodeTableKVA   mem.VirtAddr
+	// Graceful-degradation counters (recovery enabled only).
+	Retries, Remaps, Unrecoverable uint64
+	inodeTableKVA                  mem.VirtAddr
 }
 
 // New builds a filesystem over disk (setup context).
@@ -95,6 +105,39 @@ func New(k *kernel.Kernel, disk *dev.Disk, cfg Config) *FS {
 	}
 	f.inodeTableKVA = k.SetupAlloc(mem.PageSize)
 	return f
+}
+
+// EnableFaultRecovery turns on the media-error recovery machinery (setup
+// context): retries with exponential backoff, bad-block remapping, and an
+// EIO path when a read exhausts its retries. Fault-free configurations
+// never call this, keeping their timing bit-identical to the non-recovery
+// code.
+func (f *FS) EnableFaultRecovery(cfg fault.DiskConfig) {
+	f.rec = &cfg
+	f.remap = make(map[int]int)
+}
+
+// physOf resolves a logical block through the remap table (caller holds
+// the fs lock, or runs before/after the simulation).
+func (f *FS) physOf(block int) int {
+	if f.remap != nil {
+		if spare, ok := f.remap[block]; ok {
+			return spare
+		}
+	}
+	return block
+}
+
+// allocSpare grabs a fresh block for remapping, skipping blocks the
+// fault plan has marked permanently bad (caller holds the fs lock).
+func (f *FS) allocSpare() int {
+	inj := f.disk.Injector()
+	for {
+		b := f.allocBlock()
+		if inj == nil || !inj.Bad(b) {
+			return b
+		}
+	}
 }
 
 // --- Setup-time (pre-Run) population ----------------------------------------
@@ -139,8 +182,9 @@ func (f *FS) allocBlock() int {
 // getblk returns the cached buffer for a disk block, reading it from disk
 // if needed. needRead=false skips the media read when the whole block will
 // be overwritten. Returns with no locks held; the buffer data is stable
-// until somebody writes it (under the fs lock).
-func (f *FS) getblk(p *frontend.Proc, block int, needRead bool) *buffer {
+// until somebody writes it (under the fs lock). With fault recovery
+// enabled a read that exhausts its retries surfaces as an error (EIO).
+func (f *FS) getblk(p *frontend.Proc, block int, needRead bool) (*buffer, error) {
 	for {
 		f.lock.Lock(p)
 		buf := f.cache[block]
@@ -152,7 +196,10 @@ func (f *FS) getblk(p *frontend.Proc, block int, needRead bool) *buffer {
 			f.lock.Unlock(p)
 			// If an I/O is still in flight, sleep until it completes.
 			f.waitIO(p, buf)
-			return buf
+			if f.rec != nil && !f.repairIfFailed(p, buf) {
+				return nil, fmt.Errorf("fs: I/O error reading block %d", block)
+			}
+			return buf, nil
 		}
 		f.Misses++
 		// Need a free buffer: evict if at capacity.
@@ -200,12 +247,44 @@ func (f *FS) getblk(p *frontend.Proc, block int, needRead bool) *buffer {
 		f.cache[block] = buf
 		f.lock.Unlock(p)
 		if needRead {
-			f.ioRead(p, buf)
+			ok := f.ioRead(p, buf)
 			f.lock.Lock(p)
 			buf.kernelBusy = false
 			f.lock.Unlock(p)
+			if !ok {
+				return nil, fmt.Errorf("fs: I/O error reading block %d", block)
+			}
 		}
-		return buf
+		return buf, nil
+	}
+}
+
+// repairIfFailed handles a buffer whose speculative or earlier read gave
+// up: the first process to claim it reruns the media read on the demand
+// path. Returns false when the reread also exhausts its retries.
+func (f *FS) repairIfFailed(p *frontend.Proc, buf *buffer) bool {
+	for {
+		claim := p.Call(40, func() any {
+			if buf.loading {
+				return 2 // somebody else is mid-repair
+			}
+			if buf.failed {
+				buf.failed = false
+				buf.loading = true
+				return 1 // we own the repair
+			}
+			return 0 // healthy
+		})
+		switch claim.(int) {
+		case 0:
+			return true
+		case 1:
+			if !f.ioRead(p, buf) {
+				return false
+			}
+		case 2:
+			f.waitIO(p, buf)
+		}
 	}
 }
 
@@ -226,7 +305,10 @@ func (f *FS) pickVictim() *buffer {
 }
 
 // flushLocked writes a dirty buffer to disk. Caller holds the fs lock;
-// the function releases it around the disk I/O and retakes it.
+// the function releases it around the disk I/O and retakes it. A write
+// that exhausts its retries still clears the dirty bit — the OS logs the
+// loss (Unrecoverable counter) and drops the buffer rather than wedging
+// every future sync on it.
 func (f *FS) flushLocked(p *frontend.Proc, buf *buffer) {
 	snap := make([]byte, len(buf.data))
 	copy(snap, buf.data)
@@ -263,21 +345,111 @@ func (f *FS) waitIO(p *frontend.Proc, buf *buffer) {
 // ioRead starts the media read for buf and blocks the caller until the
 // completion interrupt fires. The completion (backend context) fills the
 // buffer, clears the loading flag, and wakes both the loader and any
-// processes that piled up on the buffer meanwhile.
-func (f *FS) ioRead(p *frontend.Proc, buf *buffer) {
+// processes that piled up on the buffer meanwhile. With fault recovery
+// enabled, transient errors are retried with exponential backoff and bad
+// blocks are remapped; returns false when the retries run out (the
+// buffer is then marked failed, with loading cleared).
+func (f *FS) ioRead(p *frontend.Proc, buf *buffer) bool {
 	pid := p.ID()
 	sim := f.k.Sim
-	p.Call(150, func() any {
-		f.disk.SubmitAt(buf.block, false, dev.BlockSize, func(done event.Cycle) {
-			f.disk.ReadBlock(buf.block, buf.data)
-			buf.loading = false
-			buf.ioWait.WakeAllBackend()
-			sim.Wake(pid, done)
+	if f.rec == nil {
+		p.Call(150, func() any {
+			f.disk.SubmitAt(buf.block, false, dev.BlockSize, func(done event.Cycle) {
+				f.disk.ReadBlock(buf.block, buf.data)
+				buf.loading = false
+				buf.ioWait.WakeAllBackend()
+				sim.Wake(pid, done)
+			})
+			sim.BlockCurrent()
+			return nil
+		})
+		f.ReadsB += dev.BlockSize
+		return true
+	}
+
+	backoff := event.Cycle(f.rec.RetryBackoff)
+	for attempt := 0; ; attempt++ {
+		f.lock.Lock(p)
+		phys := f.physOf(buf.block)
+		f.lock.Unlock(p)
+		var status fault.DiskStatus
+		p.Call(150, func() any {
+			f.disk.SubmitAtStatus(phys, false, dev.BlockSize, func(done event.Cycle, st fault.DiskStatus) {
+				status = st
+				if st == fault.DiskOK {
+					f.disk.ReadBlock(phys, buf.data)
+					buf.loading = false
+					buf.ioWait.WakeAllBackend()
+				}
+				sim.Wake(pid, done)
+			})
+			sim.BlockCurrent()
+			return nil
+		})
+		f.ReadsB += dev.BlockSize
+		switch status {
+		case fault.DiskOK:
+			return true
+		case fault.DiskBadBlock:
+			// Grown defect: remap to a spare and reread there. The drive's
+			// internal recovery salvaged the sector contents into the spare.
+			f.remapBlock(p, buf.block, true)
+		case fault.DiskTransient:
+			if attempt >= f.rec.MaxRetries {
+				f.Unrecoverable++
+				p.Call(40, func() any {
+					buf.failed = true
+					buf.loading = false
+					buf.ioWait.WakeAllBackend()
+					return nil
+				})
+				return false
+			}
+			f.Retries++
+			f.sleepCycles(p, backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// sleepCycles blocks the calling process for d simulated cycles (the
+// retry backoff timer; charged as blocked time, not spin).
+func (f *FS) sleepCycles(p *frontend.Proc, d event.Cycle) {
+	pid := p.ID()
+	sim := f.k.Sim
+	p.Call(60, func() any {
+		sim.ScheduleTask(d, "fs-backoff", false, func() {
+			sim.Wake(pid, sim.CurTime())
 		})
 		sim.BlockCurrent()
 		return nil
 	})
-	f.ReadsB += dev.BlockSize
+}
+
+// remapBlock retires a logical block onto a fresh spare (kernel context).
+// When copyContent is set the old physical contents are carried over —
+// the read path depends on the salvaged bytes; the write path is about to
+// overwrite them anyway.
+func (f *FS) remapBlock(p *frontend.Proc, logical int, copyContent bool) {
+	f.lock.Lock(p)
+	old := f.physOf(logical)
+	spare := f.allocSpare()
+	f.remap[logical] = spare
+	f.Remaps++
+	// Defect-list bookkeeping: inode-table traffic plus CPU time.
+	p.KTouchRange(f.inodeTableKVA, 256, true)
+	p.ComputeCycles(2000)
+	f.lock.Unlock(p)
+	if copyContent {
+		// Backend context: the disk's block store is only ever touched by
+		// backend closures during the run.
+		p.Call(100, func() any {
+			tmp := make([]byte, dev.BlockSize)
+			f.disk.ReadBlock(old, tmp)
+			f.disk.WriteBlock(spare, tmp)
+			return nil
+		})
+	}
 }
 
 // prefetch starts an asynchronous media read for a block if it is not
@@ -311,9 +483,21 @@ func (f *FS) prefetch(p *frontend.Proc, block int) {
 	f.lock.Unlock(p)
 	f.Prefetches++
 
+	phys := buf.block
+	if f.rec != nil {
+		f.lock.Lock(p)
+		phys = f.physOf(buf.block)
+		f.lock.Unlock(p)
+	}
 	p.Call(80, func() any {
-		f.disk.SubmitAt(buf.block, false, dev.BlockSize, func(done event.Cycle) {
-			f.disk.ReadBlock(buf.block, buf.data)
+		f.disk.SubmitAtStatus(phys, false, dev.BlockSize, func(done event.Cycle, st fault.DiskStatus) {
+			if st == fault.DiskOK {
+				f.disk.ReadBlock(phys, buf.data)
+			} else {
+				// Speculative read: no retries. The next demand access
+				// claims the buffer and reruns the read with recovery.
+				buf.failed = true
+			}
 			buf.loading = false
 			buf.ioWait.WakeAllBackend()
 		})
@@ -321,19 +505,59 @@ func (f *FS) prefetch(p *frontend.Proc, block int) {
 	})
 }
 
-// ioWrite writes a snapshot of a block synchronously.
-func (f *FS) ioWrite(p *frontend.Proc, block int, snap []byte) {
+// ioWrite writes a snapshot of a block synchronously. With fault
+// recovery enabled, transient errors retry with exponential backoff and
+// bad blocks remap to spares (no content copy — the data in hand is
+// about to be written). Returns false only when the retries run out.
+func (f *FS) ioWrite(p *frontend.Proc, block int, snap []byte) bool {
 	pid := p.ID()
 	sim := f.k.Sim
-	p.Call(150, func() any {
-		f.disk.SubmitAt(block, true, len(snap), func(done event.Cycle) {
-			f.disk.WriteBlock(block, snap)
-			sim.Wake(pid, done)
+	if f.rec == nil {
+		p.Call(150, func() any {
+			f.disk.SubmitAt(block, true, len(snap), func(done event.Cycle) {
+				f.disk.WriteBlock(block, snap)
+				sim.Wake(pid, done)
+			})
+			sim.BlockCurrent()
+			return nil
 		})
-		sim.BlockCurrent()
-		return nil
-	})
-	f.WritesB += uint64(len(snap))
+		f.WritesB += uint64(len(snap))
+		return true
+	}
+
+	backoff := event.Cycle(f.rec.RetryBackoff)
+	for attempt := 0; ; attempt++ {
+		f.lock.Lock(p)
+		phys := f.physOf(block)
+		f.lock.Unlock(p)
+		var status fault.DiskStatus
+		p.Call(150, func() any {
+			f.disk.SubmitAtStatus(phys, true, len(snap), func(done event.Cycle, st fault.DiskStatus) {
+				status = st
+				if st == fault.DiskOK {
+					f.disk.WriteBlock(phys, snap)
+				}
+				sim.Wake(pid, done)
+			})
+			sim.BlockCurrent()
+			return nil
+		})
+		f.WritesB += uint64(len(snap))
+		switch status {
+		case fault.DiskOK:
+			return true
+		case fault.DiskBadBlock:
+			f.remapBlock(p, block, false)
+		case fault.DiskTransient:
+			if attempt >= f.rec.MaxRetries {
+				f.Unrecoverable++
+				return false
+			}
+			f.Retries++
+			f.sleepCycles(p, backoff)
+			backoff *= 2
+		}
+	}
 }
 
 // --- File operations (kernel context) ---------------------------------------
@@ -423,7 +647,10 @@ func (f *FS) ReadAt(p *frontend.Proc, ino *Inode, off int64, n int, dst []byte, 
 		if err != nil {
 			return read, err
 		}
-		buf := f.getblk(p, block, true)
+		buf, err := f.getblk(p, block, true)
+		if err != nil {
+			return read, err
+		}
 		if next >= 0 {
 			f.prefetch(p, next)
 		}
@@ -472,7 +699,10 @@ func (f *FS) WriteAt(p *frontend.Proc, ino *Inode, off int64, n int, src []byte,
 			chunk = n - written
 		}
 		// A full-block overwrite needs no media read.
-		buf := f.getblk(p, block, !(bo == 0 && chunk == dev.BlockSize))
+		buf, err := f.getblk(p, block, !(bo == 0 && chunk == dev.BlockSize))
+		if err != nil {
+			return written, err
+		}
 		if userVA != 0 {
 			p.TouchRange(userVA+mem.VirtAddr(written), chunk, false)
 		}

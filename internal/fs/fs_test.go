@@ -213,7 +213,11 @@ func TestPhysSpaceIsolation(t *testing.T) {
 	seen := map[mem.VirtAddr]bool{}
 	r.sim.Spawn("p", func(p *frontend.Proc) {
 		for blk := 0; blk < 6; blk++ {
-			buf := r.fs.getblk(p, ino.Blocks[blk], true)
+			buf, err := r.fs.getblk(p, ino.Blocks[blk], true)
+			if err != nil {
+				t.Error(err)
+				return
+			}
 			seen[buf.kva] = true
 		}
 	})

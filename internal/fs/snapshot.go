@@ -27,6 +27,10 @@ type BufferSnap struct {
 	Dirty   bool
 	Version uint64
 	LRUSeq  uint64
+	// Failed marks a buffer whose speculative read never completed (fault
+	// injection); its data is not valid until the recovery path re-reads
+	// it. Losing the flag across a restore would serve the stale bytes.
+	Failed bool
 }
 
 // Snapshot is the filesystem's serializable state. Inodes are ID-ordered
@@ -42,6 +46,10 @@ type Snapshot struct {
 	Hits, Misses    uint64
 	ReadsB, WritesB uint64
 	Prefetches      uint64
+
+	// Fault-recovery state (zero/nil when recovery is disabled).
+	Remap                          map[int]int
+	Retries, Remaps, Unrecoverable uint64
 }
 
 // Snapshot captures the namespace, buffer cache, and counters. It returns
@@ -55,6 +63,16 @@ func (f *FS) Snapshot() (Snapshot, error) {
 		ReadsB:     f.ReadsB,
 		WritesB:    f.WritesB,
 		Prefetches: f.Prefetches,
+
+		Retries:       f.Retries,
+		Remaps:        f.Remaps,
+		Unrecoverable: f.Unrecoverable,
+	}
+	if f.remap != nil {
+		s.Remap = make(map[int]int, len(f.remap))
+		for k, v := range f.remap {
+			s.Remap[k] = v
+		}
 	}
 	for _, ino := range f.inodes {
 		s.Inodes = append(s.Inodes, InodeSnap{
@@ -72,6 +90,7 @@ func (f *FS) Snapshot() (Snapshot, error) {
 		s.Buffers = append(s.Buffers, BufferSnap{
 			Block: buf.block, Data: append([]byte(nil), buf.data...), KVA: uint32(buf.kva),
 			Dirty: buf.dirty, Version: buf.version, LRUSeq: buf.lruSeq,
+			Failed: buf.failed,
 		})
 	}
 	sort.Slice(s.Buffers, func(i, j int) bool { return s.Buffers[i].Block < s.Buffers[j].Block })
@@ -105,6 +124,7 @@ func (f *FS) Restore(s Snapshot) error {
 		f.cache[bs.Block] = &buffer{
 			block: bs.Block, data: append([]byte(nil), bs.Data...), kva: mem.VirtAddr(bs.KVA),
 			dirty: bs.Dirty, version: bs.Version, lruSeq: bs.LRUSeq,
+			failed: bs.Failed,
 			ioWait: f.k.NewWaitQueue(fmt.Sprintf("buf%d", bs.Block)),
 		}
 	}
@@ -113,5 +133,16 @@ func (f *FS) Restore(s Snapshot) error {
 	f.ReadsB = s.ReadsB
 	f.WritesB = s.WritesB
 	f.Prefetches = s.Prefetches
+	f.Retries = s.Retries
+	f.Remaps = s.Remaps
+	f.Unrecoverable = s.Unrecoverable
+	if s.Remap != nil {
+		if f.remap == nil {
+			f.remap = make(map[int]int, len(s.Remap))
+		}
+		for k, v := range s.Remap {
+			f.remap[k] = v
+		}
+	}
 	return nil
 }

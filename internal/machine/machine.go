@@ -13,6 +13,7 @@ import (
 	"compass/internal/dev"
 	"compass/internal/directory"
 	"compass/internal/event"
+	"compass/internal/fault"
 	"compass/internal/frontend"
 	"compass/internal/fs"
 	"compass/internal/kernel"
@@ -22,6 +23,7 @@ import (
 	"compass/internal/noc"
 	"compass/internal/osserver"
 	"compass/internal/snoop"
+	"compass/internal/stats"
 )
 
 // Arch selects the target memory-system architecture.
@@ -97,6 +99,11 @@ type Config struct {
 	// request scheduling (FIFO vs SCAN).
 	DiskPositionalSeek bool
 	DiskElevator       bool
+
+	// Faults is the deterministic fault plan (all rates zero = no
+	// injection, bit-identical to a machine without the machinery). A
+	// value, not a pointer: the checkpoint config hash covers it.
+	Faults fault.Config
 }
 
 // Default returns a 4-CPU simple-backend machine with a 64 MB memory, a
@@ -167,11 +174,56 @@ func New(cfg Config) *Machine {
 	if cfg.RTC {
 		m.RTC = dev.NewRTC(sim, dev.DefaultRTCConfig())
 	}
+	// Defaults are applied to a local copy only: m.Cfg must stay exactly
+	// what the caller passed, or the checkpoint config hash would change.
+	faults := cfg.Faults
+	faults.ApplyDefaults()
+	if faults.DiskEnabled() {
+		m.Disk.SetInjector(fault.NewDiskInjector(faults.Seed, faults.Disk))
+		m.FS.EnableFaultRecovery(faults.Disk)
+	}
+	if faults.NetEnabled() {
+		m.NIC.SetInjector(fault.NewNetInjector(faults.Seed, faults.Net))
+		m.Net.EnableFaultRecovery(faults.Net)
+	}
+	if faults.MemEnabled() {
+		sim.SetECC(mem.NewECC(faults.Seed, faults.Mem.ECCRate, faults.Mem.ECCCost))
+	}
 	m.OS = osserver.New(m.K, m.FS, m.Net, osserver.Machine{Disk: m.Disk, NIC: m.NIC, RTC: m.RTC})
 	if cfg.SyncdInterval > 0 {
 		m.OS.StartSyncd(cfg.SyncdInterval)
 	}
 	return m
+}
+
+// FaultCounters merges the fault-injection and recovery counters from
+// every layer into c (post-run reporting). No-op on a fault-free
+// machine: all sources are nil or zero.
+func (m *Machine) FaultCounters(c *stats.Counters) {
+	if inj := m.Disk.Injector(); inj != nil {
+		c.Inc("fault.disk.transient", inj.Transients)
+		c.Inc("fault.disk.slow", inj.Slows)
+		c.Inc("fault.disk.badio", inj.BadIOs)
+		c.Inc("fault.disk.retries", m.FS.Retries)
+		c.Inc("fault.disk.remaps", m.FS.Remaps)
+		c.Inc("fault.disk.unrecoverable", m.FS.Unrecoverable)
+	}
+	if inj := m.NIC.Injector(); inj != nil {
+		c.Inc("fault.net.drops", inj.Drops)
+		c.Inc("fault.net.corrupts", inj.Corrupts)
+		c.Inc("fault.net.dups", inj.Dups)
+		c.Inc("fault.net.flaps", inj.Flaps)
+		c.Inc("fault.net.flapdrops", inj.FlapDrops)
+		if arq := m.Net.ARQ(); arq != nil {
+			c.Inc("fault.net.retransmits", arq.Retransmits)
+			c.Inc("fault.net.dupsuppressed", arq.DupSuppressed)
+			c.Inc("fault.net.acks", arq.AcksSent)
+			c.Inc("fault.net.failures", arq.Failures)
+		}
+	}
+	if ecc := m.Sim.ECC(); ecc != nil {
+		c.Inc("fault.mem.ecc", ecc.Corrected)
+	}
 }
 
 func modelBuilder(cfg Config) func(*mem.Physical, int) memsys.Model {

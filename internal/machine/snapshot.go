@@ -8,6 +8,7 @@ import (
 	"compass/internal/core"
 	"compass/internal/dev"
 	"compass/internal/directory"
+	"compass/internal/fault"
 	"compass/internal/fs"
 	"compass/internal/kernel"
 	"compass/internal/mem"
@@ -46,6 +47,13 @@ type Snapshot struct {
 	Dir           *directory.Snapshot
 	Coma          *coma.Snapshot
 	FixedAccesses *uint64
+
+	// Fault-plan state, present only when the matching layer is enabled
+	// (the PRNG draw counters must survive a restore for the resumed run
+	// to replay the same fault sequence).
+	DiskInj *fault.DiskInjSnap
+	NetInj  *fault.NetInjSnap
+	ECC     *mem.ECCSnap
 }
 
 // Checkpoint captures the machine's state. The machine must be quiescent:
@@ -104,6 +112,18 @@ func (m *Machine) Checkpoint() (*Snapshot, error) {
 		s.FixedAccesses = &acc
 	default:
 		return nil, fmt.Errorf("machine: model %q has no snapshot support", m.Sim.Model().Name())
+	}
+	if inj := m.Disk.Injector(); inj != nil {
+		is := inj.Snapshot()
+		s.DiskInj = &is
+	}
+	if inj := m.NIC.Injector(); inj != nil {
+		is := inj.Snapshot()
+		s.NetInj = &is
+	}
+	if ecc := m.Sim.ECC(); ecc != nil {
+		es := ecc.Snapshot()
+		s.ECC = &es
 	}
 	return s, nil
 }
@@ -189,6 +209,24 @@ func Restore(s *Snapshot) (*Machine, error) {
 		}
 	} else if s.RTC != nil {
 		return nil, fmt.Errorf("machine: snapshot has RTC state but config disables it")
+	}
+	if inj := m.Disk.Injector(); inj != nil {
+		if s.DiskInj == nil {
+			return nil, fmt.Errorf("machine: snapshot missing disk fault state")
+		}
+		inj.Restore(*s.DiskInj)
+	}
+	if inj := m.NIC.Injector(); inj != nil {
+		if s.NetInj == nil {
+			return nil, fmt.Errorf("machine: snapshot missing net fault state")
+		}
+		inj.Restore(*s.NetInj)
+	}
+	if ecc := m.Sim.ECC(); ecc != nil {
+		if s.ECC == nil {
+			return nil, fmt.Errorf("machine: snapshot missing ECC sampler state")
+		}
+		ecc.Restore(*s.ECC)
 	}
 	m.Sim.SetQueueState(s.Sim.Queue)
 	return m, nil

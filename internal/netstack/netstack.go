@@ -15,6 +15,7 @@ import (
 
 	"compass/internal/dev"
 	"compass/internal/event"
+	"compass/internal/fault"
 	"compass/internal/frontend"
 	"compass/internal/kernel"
 	"compass/internal/mem"
@@ -83,6 +84,10 @@ type Stack struct {
 	mbufSeq  uint64
 	nextLoop int // loopback connection id allocator (negative ids)
 
+	// arq, when non-nil, runs link-level retransmission for wire
+	// connections (fault-injected configurations). Backend-owned.
+	arq *Endpoint
+
 	RxPackets, TxPackets uint64
 	Accepts, Drops       uint64
 }
@@ -101,9 +106,42 @@ func New(k *kernel.Kernel, nic *dev.NIC, cfg Config) *Stack {
 	return s
 }
 
+// EnableFaultRecovery turns on link-level ARQ for wire connections
+// (setup context): retransmit timers with exponential backoff on the
+// send side, acknowledgment and duplicate suppression on the receive
+// side. Fault-free configurations never call this.
+func (s *Stack) EnableFaultRecovery(cfg fault.NetConfig) {
+	s.arq = NewEndpoint(s.k.Sim,
+		cfg,
+		func(pkt dev.Packet) { s.nic.Transmit(pkt, s.k.Sim.CurTime()) },
+		s.arqFail)
+}
+
+// ARQ returns the stack's ARQ endpoint, or nil.
+func (s *Stack) ARQ() *Endpoint { return s.arq }
+
+// arqFail handles a connection whose frame exhausted its retransmits:
+// the peer is unreachable, so the connection reads as reset (backend
+// context).
+func (s *Stack) arqFail(conn int) {
+	if c, ok := s.conns[conn]; ok {
+		c.peerClosed = true
+		s.activity.WakeAllBackend()
+	}
+}
+
 // input is the protocol input path, run in backend context after the RX
 // interrupt (the bottom half of §3.2).
 func (s *Stack) input(pkt dev.Packet, at event.Cycle) {
+	if s.arq != nil && pkt.Conn >= 0 {
+		if pkt.Flags&dev.FlagACK != 0 {
+			s.arq.OnAck(pkt)
+			return
+		}
+		if !s.arq.Accept(pkt) {
+			return // duplicate or stale frame, suppressed
+		}
+	}
 	s.RxPackets++
 	switch {
 	case pkt.Flags&dev.FlagSYN != 0:
@@ -298,7 +336,11 @@ func (s *Stack) Send(p *frontend.Proc, c *Conn, data []byte, userVA mem.VirtAddr
 				})
 				return nil
 			}
-			s.nic.Transmit(pkt, s.k.Sim.CurTime())
+			if s.arq != nil {
+				s.arq.Send(pkt)
+			} else {
+				s.nic.Transmit(pkt, s.k.Sim.CurTime())
+			}
 			return nil
 		})
 		sent += chunk
@@ -321,7 +363,12 @@ func (s *Stack) Close(p *frontend.Proc, c *Conn) {
 				s.activity.WakeAllBackend()
 				return nil
 			}
-			s.nic.Transmit(dev.Packet{Conn: c.ID, Flags: dev.FlagFIN}, s.k.Sim.CurTime())
+			if s.arq != nil {
+				s.arq.Send(dev.Packet{Conn: c.ID, Flags: dev.FlagFIN})
+				s.arq.DropRx(c.ID)
+			} else {
+				s.nic.Transmit(dev.Packet{Conn: c.ID, Flags: dev.FlagFIN}, s.k.Sim.CurTime())
+			}
 		}
 		return nil
 	})

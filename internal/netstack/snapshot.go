@@ -23,6 +23,10 @@ type Snapshot struct {
 
 	RxPackets, TxPackets uint64
 	Accepts, Drops       uint64
+
+	// ARQ counters (zero when fault recovery is disabled).
+	ARQRetransmits, ARQDupSuppressed uint64
+	ARQAcksSent, ARQFailures         uint64
 }
 
 // Snapshot captures listeners and counters. It returns an error when a
@@ -36,6 +40,15 @@ func (s *Stack) Snapshot() (Snapshot, error) {
 		MbufSeq: s.mbufSeq, NextLoop: s.nextLoop,
 		RxPackets: s.RxPackets, TxPackets: s.TxPackets,
 		Accepts: s.Accepts, Drops: s.Drops,
+	}
+	if s.arq != nil {
+		if s.arq.Busy() {
+			return Snapshot{}, fmt.Errorf("netstack: ARQ has frames in flight")
+		}
+		sn.ARQRetransmits = s.arq.Retransmits
+		sn.ARQDupSuppressed = s.arq.DupSuppressed
+		sn.ARQAcksSent = s.arq.AcksSent
+		sn.ARQFailures = s.arq.Failures
 	}
 	for port, l := range s.listeners {
 		if len(l.acceptQ) != 0 {
@@ -60,4 +73,10 @@ func (s *Stack) Restore(sn Snapshot) {
 	s.TxPackets = sn.TxPackets
 	s.Accepts = sn.Accepts
 	s.Drops = sn.Drops
+	if s.arq != nil {
+		s.arq.Retransmits = sn.ARQRetransmits
+		s.arq.DupSuppressed = sn.ARQDupSuppressed
+		s.arq.AcksSent = sn.ARQAcksSent
+		s.arq.Failures = sn.ARQFailures
+	}
 }

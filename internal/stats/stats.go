@@ -154,6 +154,28 @@ func (c *Counters) String() string {
 	return b.String()
 }
 
+// FormatFaultTable renders the fault-injection and recovery counters
+// (the "fault." namespace) as a table: injected events on one side,
+// recovery work on the other. Returns "" when no fault counters exist —
+// fault-free runs print nothing.
+func FormatFaultTable(c *Counters) string {
+	var names []string
+	for _, n := range c.Names() {
+		if strings.HasPrefix(n, "fault.") {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %12s\n", "fault event", "count")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-32s %12d\n", n, c.Get(n))
+	}
+	return b.String()
+}
+
 // Histogram is a fixed-bucket latency histogram with power-of-two bucket
 // boundaries: bucket i counts samples in [2^i, 2^(i+1)).
 type Histogram struct {

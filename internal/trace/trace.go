@@ -17,6 +17,8 @@ import (
 	"compass/internal/core"
 	"compass/internal/dev"
 	"compass/internal/event"
+	"compass/internal/fault"
+	"compass/internal/netstack"
 	"compass/internal/stats"
 )
 
@@ -94,9 +96,15 @@ type Player struct {
 	inflight map[int]*flight
 	quits    int
 
+	// arq, when non-nil, runs the client half of the link-level ARQ
+	// (fault-injected configurations). Backend-owned.
+	arq *netstack.Endpoint
+
 	Completed uint64
 	BadBytes  uint64
-	Latency   stats.Histogram
+	// ClientFailures counts requests abandoned after the ARQ gave up.
+	ClientFailures uint64
+	Latency        stats.Histogram
 }
 
 type flight struct {
@@ -117,6 +125,63 @@ func NewPlayer(sim *core.Sim, nic *dev.NIC, t Trace, cfg PlayerConfig) *Player {
 	}
 	nic.OnTransmit = p.onPacket
 	return p
+}
+
+// EnableARQ gives the client population the same link-level reliability
+// the host stack runs under fault injection (setup context, before
+// Start): server frames are acknowledged and deduplicated, client frames
+// retransmitted on timeout.
+func (p *Player) EnableARQ(cfg fault.NetConfig) {
+	p.arq = netstack.NewEndpoint(p.sim,
+		cfg,
+		func(pkt dev.Packet) { p.nic.Inject(pkt, 0) },
+		p.arqFail)
+	p.nic.OnTransmit = func(pkt dev.Packet, at event.Cycle) {
+		if pkt.Flags&dev.FlagACK != 0 {
+			p.arq.OnAck(pkt)
+			return
+		}
+		if !p.arq.Accept(pkt) {
+			return
+		}
+		p.onPacket(pkt, at)
+	}
+}
+
+// ARQ returns the client endpoint, or nil.
+func (p *Player) ARQ() *netstack.Endpoint { return p.arq }
+
+// arqFail abandons a request whose frames exhausted their retransmits,
+// keeping the closed loop alive (backend context).
+func (p *Player) arqFail(conn int) {
+	p.ClientFailures++
+	f, ok := p.inflight[conn]
+	if !ok {
+		return
+	}
+	delete(p.inflight, conn)
+	if f.quit {
+		return
+	}
+	if p.next < len(p.trace) {
+		p.launchNext(p.cfg.ThinkCycles)
+	} else if len(p.inflight) == 0 {
+		p.scheduleQuits(1)
+	}
+}
+
+// sendPkt puts a client frame on the wire after delay, through the ARQ
+// when enabled (backend context or pre-Run setup).
+func (p *Player) sendPkt(pkt dev.Packet, delay event.Cycle) {
+	if p.arq == nil {
+		p.nic.Inject(pkt, delay)
+		return
+	}
+	if delay == 0 {
+		p.arq.Send(pkt)
+		return
+	}
+	p.sim.ScheduleTask(delay, "client-send", false, func() { p.arq.Send(pkt) })
 }
 
 // Start launches the initial window of clients. Call before Sim.Run (it
@@ -147,8 +212,8 @@ func (p *Player) launchNext(delay event.Cycle) {
 	conn := p.nextConn
 	p.nextConn++
 	p.inflight[conn] = &flight{req: req}
-	p.nic.Inject(dev.Packet{Conn: conn, Flags: dev.FlagSYN, Payload: []byte{byte(p.cfg.Port >> 8), byte(p.cfg.Port)}}, delay)
-	p.nic.Inject(dev.Packet{
+	p.sendPkt(dev.Packet{Conn: conn, Flags: dev.FlagSYN, Payload: []byte{byte(p.cfg.Port >> 8), byte(p.cfg.Port)}}, delay)
+	p.sendPkt(dev.Packet{
 		Conn:    conn,
 		Payload: []byte(fmt.Sprintf("GET %s HTTP/1.0\r\n\r\n", req.Path)),
 	}, delay+2000)
@@ -204,7 +269,7 @@ func (p *Player) scheduleQuits(delay event.Cycle) {
 		p.nextConn++
 		p.inflight[conn] = &flight{quit: true}
 		d := delay + event.Cycle(p.quits)*3000
-		p.nic.Inject(dev.Packet{Conn: conn, Flags: dev.FlagSYN, Payload: []byte{byte(p.cfg.Port >> 8), byte(p.cfg.Port)}}, d)
-		p.nic.Inject(dev.Packet{Conn: conn, Payload: []byte("GET /quit HTTP/1.0\r\n\r\n")}, d+2000)
+		p.sendPkt(dev.Packet{Conn: conn, Flags: dev.FlagSYN, Payload: []byte{byte(p.cfg.Port >> 8), byte(p.cfg.Port)}}, d)
+		p.sendPkt(dev.Packet{Conn: conn, Payload: []byte("GET /quit HTTP/1.0\r\n\r\n")}, d+2000)
 	}
 }
