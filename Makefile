@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt check bench fuzz-smoke bench-sweep
 
 all: check
 
@@ -11,9 +11,25 @@ test:
 	$(GO) test ./...
 
 # Short-mode race pass: catches frontend/backend rendezvous races without
-# the full-length workloads.
+# the full-length workloads. The second line runs the experiment-engine
+# e2e tests (parallel fan-out, shared snapshot restore, seed campaigns,
+# determinism) at full length under the detector — the expt layer's
+# correctness IS its concurrency, so it never rides the -short discount.
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/expt
+	$(GO) test -race -run 'TestDeterminism|TestFaults|TestWarmBatchSweep' .
+
+# Fuzz smoke: 10 seconds per native fuzz target over the committed
+# corpora (go test -fuzz takes one target per invocation).
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParseSpec -fuzztime 10s ./internal/fault
+	$(GO) test -fuzz FuzzReadInfo -fuzztime 10s ./internal/checkpoint
+
+# Serial-vs-parallel sweep benchmark; emits the machine-readable record
+# the CI uploads as an artifact.
+bench-sweep:
+	$(GO) run ./cmd/compassrun -sweepbench BENCH_sweep.json -parallel 0
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,112 @@
+package compass
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"compass/internal/expt"
+	"compass/internal/stats"
+)
+
+// SimCycles reports the run's simulated cycles to the experiment
+// engine's progress line (expt.Cycled).
+func (r Result) SimCycles() uint64 { return r.Cycles }
+
+// CampaignPoint is one fault seed's outcome in a seed campaign.
+type CampaignPoint struct {
+	// Seed is the fault-plan seed this run used.
+	Seed uint64
+	// Res is the workload result under that seed.
+	Res Result
+}
+
+// CampaignResult is a fault-seed campaign: the same configuration run
+// under M seeds, with fault/recovery tables aggregated across seeds.
+type CampaignResult struct {
+	// Points holds per-seed results, ordered by the input seed slice —
+	// never by completion order.
+	Points []CampaignPoint
+	// Aggregate is every point's counter set merged in seed-index order
+	// (fault.* rows included), the campaign-wide table.
+	Aggregate *stats.Counters
+	// Cycles is the total simulated cycles across all seeds.
+	Cycles uint64
+	// Workers is the resolved worker-pool size the campaign ran with.
+	Workers int
+	// Wall is the host time for the whole campaign.
+	Wall time.Duration
+}
+
+// FaultTable renders the aggregated fault-injection and recovery
+// counters across all seeds; empty if no faults fired.
+func (c CampaignResult) FaultTable() string { return stats.FormatFaultTable(c.Aggregate) }
+
+// String renders the per-seed summary table plus totals. Wall time is
+// deliberately excluded — the table is part of the determinism surface.
+func (c CampaignResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %14s %10s %10s %10s\n", "seed", "cycles", "user%", "os%", "faults")
+	for _, p := range c.Points {
+		var faults uint64
+		for _, n := range p.Res.Counters.Names() {
+			if strings.HasPrefix(n, "fault.") {
+				faults += p.Res.Counters.Get(n)
+			}
+		}
+		fmt.Fprintf(&b, "%10d %14d %9.1f%% %9.1f%% %10d\n",
+			p.Seed, p.Res.Cycles, p.Res.Profile.UserPct, p.Res.Profile.OSPct, faults)
+	}
+	// Workers and Wall stay out of the table: the rendered campaign is
+	// part of the serial-vs-parallel bit-equality surface.
+	fmt.Fprintf(&b, "%10s %14d  (%d seeds)\n", "total", c.Cycles, len(c.Points))
+	return b.String()
+}
+
+// RunSeedCampaign runs the same workload configuration under every seed
+// in parallel: point i runs `run` with cfg.Faults.Seed set to seeds[i],
+// on a private machine. Results come back ordered by seed index and the
+// aggregate counters are merged in that order, so a campaign's tables
+// are bit-identical whether it ran on one worker or many.
+//
+// The run callback must be a pure function of its Config (all Run*
+// workload entry points qualify): it must not read or write state shared
+// with other invocations.
+func RunSeedCampaign(cfg Config, seeds []uint64, run func(Config) Result, opts ExptOptions) CampaignResult {
+	jobs := make([]expt.Job[Result], len(seeds))
+	for i, seed := range seeds {
+		scfg := cfg
+		scfg.Faults.Seed = seed
+		jobs[i] = expt.Job[Result]{
+			Name: fmt.Sprintf("seed%d", seed),
+			Run:  func() (Result, error) { return run(scfg), nil },
+		}
+	}
+	start := time.Now()
+	rs := expt.Run(expt.Config{Workers: opts.Workers, Progress: opts.Progress}, jobs)
+
+	out := CampaignResult{
+		Points:    make([]CampaignPoint, 0, len(seeds)),
+		Aggregate: &stats.Counters{},
+		Workers:   expt.Workers(opts.Workers, len(seeds)),
+		Wall:      time.Since(start),
+	}
+	// Deterministic aggregation: merge in seed-index order, never
+	// completion order.
+	for i, r := range rs {
+		out.Points = append(out.Points, CampaignPoint{Seed: seeds[i], Res: r.Value})
+		out.Cycles += r.Value.Cycles
+		out.Aggregate.Add(r.Value.Counters)
+	}
+	return out
+}
+
+// CampaignSeeds expands a base seed into m consecutive seeds — the CLI's
+// -seeds M convention (base, base+1, ..., base+m-1).
+func CampaignSeeds(base uint64, m int) []uint64 {
+	seeds := make([]uint64, m)
+	for i := range seeds {
+		seeds[i] = base + uint64(i)
+	}
+	return seeds
+}

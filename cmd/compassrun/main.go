@@ -6,6 +6,11 @@
 //	compassrun -workload tpcc -cpus 4 -arch simple -sched affinity
 //	compassrun -workload specweb -cpus 4 -requests 200
 //	compassrun -workload tpcd -arch ccnuma -nodes 4 -placement first-touch
+//
+// Parallel experiment modes (the internal/expt engine):
+//
+//	compassrun -workload tpcc -faults "seed=7,disk.transient=0.01" -seeds 8 -parallel 4 -progress
+//	compassrun -sweepbench BENCH_sweep.json -parallel 0
 package main
 
 import (
@@ -35,6 +40,10 @@ func main() {
 		syncd     = flag.Uint64("syncd", 0, "buffer-cache flush daemon interval in cycles (0 = off)")
 		migrate   = flag.Int("migrate", 0, "ccnuma page-migration threshold (0 = off)")
 		faults    = flag.String("faults", "", `fault plan, e.g. "seed=7,disk.transient=0.01,net.drop=0.02,mem.ecc=1e-6"`)
+		parallel  = flag.Int("parallel", 1, "experiment-engine workers (0 = host cores)")
+		seeds     = flag.Int("seeds", 0, "fault-seed campaign: run this many consecutive seeds from the -faults base seed")
+		progress  = flag.Bool("progress", false, "print an engine progress line to stderr")
+		benchPath = flag.String("sweepbench", "", "run the serial-vs-parallel batch sweep bench and write JSON here")
 	)
 	flag.Parse()
 
@@ -82,29 +91,67 @@ func main() {
 		cfg.Faults = fc
 	}
 
-	var res compass.Result
+	opts := compass.ExptOptions{Workers: *parallel}
+	if *progress {
+		opts.Progress = progressLine
+	}
+
+	if *benchPath != "" {
+		// 8 points at ~100ms of host time each: long enough that the
+		// speedup measurement is not startup noise, short enough for CI.
+		bench, err := compass.RunSweepBench(cfg, []int{1, 2, 4, 8, 16, 32, 64, 128}, 5000, 50000, *parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteFile(*benchPath); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench)
+		return
+	}
+
+	var runner func(compass.Config) compass.Result
 	switch *workload {
 	case "tpcc":
 		w := compass.DefaultTPCC()
 		w.Agents = *agents
 		w.TxPerAgent = *tx
-		res = compass.RunTPCC(cfg, w)
+		runner = func(c compass.Config) compass.Result { return compass.RunTPCC(c, w) }
 	case "tpcd":
 		w := compass.DefaultTPCD()
 		w.Agents = *agents
 		w.Rows = *rows
-		res = compass.RunTPCD(cfg, w)
+		runner = func(c compass.Config) compass.Result { return compass.RunTPCD(c, w) }
 	case "specweb":
 		w := compass.DefaultSPECWeb()
 		w.Requests = *requests
-		res = compass.RunSPECWeb(cfg, w, *agents, *agents*2)
+		runner = func(c compass.Config) compass.Result { return compass.RunSPECWeb(c, w, *agents, *agents*2) }
 	case "sor":
-		res = compass.RunSOR(cfg, compass.SORConfig{N: 64, Iters: 6, Procs: *agents})
+		runner = func(c compass.Config) compass.Result {
+			return compass.RunSOR(c, compass.SORConfig{N: 64, Iters: 6, Procs: *agents})
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
 
+	if *seeds > 0 {
+		camp := compass.RunSeedCampaign(cfg, compass.CampaignSeeds(cfg.Faults.Seed, *seeds), runner, opts)
+		if *progress {
+			fmt.Fprintln(os.Stderr)
+		}
+		fmt.Print(camp)
+		if ft := camp.FaultTable(); ft != "" {
+			fmt.Println()
+			fmt.Print(ft)
+		}
+		fmt.Printf("campaign wall %.2fs on %d workers\n", camp.Wall.Seconds(), camp.Workers)
+		return
+	}
+
+	res := runner(cfg)
 	fmt.Println(res)
 	keys := make([]string, 0, len(res.Extra))
 	for k := range res.Extra {
@@ -126,4 +173,11 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Syscalls)
 	}
+}
+
+// progressLine rewrites one stderr line per engine update:
+// done/total, in-flight, simulated cycles completed, ETA.
+func progressLine(p compass.Progress) {
+	fmt.Fprintf(os.Stderr, "\rexpt %d/%d done, %d in flight, %.2e sim cycles, ETA %s   ",
+		p.Done, p.Total, p.InFlight, float64(p.DoneCycles), p.ETA.Round(100_000_000))
 }

@@ -1,0 +1,66 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// fuzzHeader builds a well-formed 80-byte header for the seed corpus.
+func fuzzHeader(version uint32, cycle, user, kern, intr uint64) []byte {
+	hdr := make([]byte, headerSize)
+	copy(hdr[0:12], magic[:])
+	binary.BigEndian.PutUint32(hdr[12:16], version)
+	for i := 16; i < 48; i++ {
+		hdr[i] = byte(i)
+	}
+	binary.BigEndian.PutUint64(hdr[48:56], cycle)
+	binary.BigEndian.PutUint64(hdr[56:64], user)
+	binary.BigEndian.PutUint64(hdr[64:72], kern)
+	binary.BigEndian.PutUint64(hdr[72:80], intr)
+	return hdr
+}
+
+// FuzzReadInfo drives the header reader with adversarial streams. The
+// oracle is exact: anything shorter than 80 bytes is ErrTruncated (empty
+// streams included), 80+ bytes without the magic is ErrBadMagic, and a
+// correct magic yields exactly the big-endian fields of the prefix —
+// never a panic, never a raw io.EOF or gob error.
+func FuzzReadInfo(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("COMPASS"))
+	f.Add([]byte("COMPASSCKPT\x00 short"))
+	f.Add(bytes.Repeat([]byte{'X'}, headerSize))
+	f.Add(fuzzHeader(Version, 123456, 7, 8, 9))
+	f.Add(append(fuzzHeader(99, 1, 2, 3, 4), []byte("trailing garbage")...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, err := ReadInfo(bytes.NewReader(data))
+		if len(data) < headerSize {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("%d-byte stream: err = %v, want ErrTruncated", len(data), err)
+			}
+			return
+		}
+		if !bytes.Equal(data[0:12], magic[:]) {
+			if !errors.Is(err, ErrBadMagic) {
+				t.Fatalf("bad-magic stream: err = %v, want ErrBadMagic", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("well-formed header rejected: %v", err)
+		}
+		want := Info{
+			Version:      binary.BigEndian.Uint32(data[12:16]),
+			Cycle:        binary.BigEndian.Uint64(data[48:56]),
+			UserCycles:   binary.BigEndian.Uint64(data[56:64]),
+			KernelCycles: binary.BigEndian.Uint64(data[64:72]),
+			IntrCycles:   binary.BigEndian.Uint64(data[72:80]),
+		}
+		copy(want.ConfigHash[:], data[16:48])
+		if info != want {
+			t.Fatalf("decoded %+v, want %+v", info, want)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package expt
+
+import (
+	"bytes"
+
+	"compass/internal/checkpoint"
+	"compass/internal/machine"
+)
+
+// Snapshot is a warm checkpoint held in memory and shared read-only by
+// every worker: the warm phase is simulated once, encoded once, and each
+// job rebuilds its private machine from the same immutable bytes. No
+// worker ever sees another worker's machine — each Restore call decodes
+// a fresh reader over the shared buffer, so concurrent restores are
+// race-free by construction (the race target proves it).
+type Snapshot struct {
+	data     []byte
+	cycle    uint64
+	sections map[string][]byte
+}
+
+// TakeSnapshot checkpoints a quiescent machine (plus host-side workload
+// sections) into memory for fan-out.
+func TakeSnapshot(m *machine.Machine, sections []checkpoint.Section) (*Snapshot, error) {
+	var buf bytes.Buffer
+	if err := checkpoint.SaveSections(&buf, m, sections); err != nil {
+		return nil, err
+	}
+	secs := make(map[string][]byte, len(sections))
+	for _, s := range sections {
+		secs[s.Name] = s.Data
+	}
+	return &Snapshot{
+		data:     buf.Bytes(),
+		cycle:    uint64(m.Sim.CurTime()),
+		sections: secs,
+	}, nil
+}
+
+// Restore rebuilds a private machine from the shared bytes. Safe to call
+// from any number of workers concurrently.
+func (s *Snapshot) Restore() (*machine.Machine, error) {
+	return checkpoint.Restore(bytes.NewReader(s.data))
+}
+
+// Section returns a host-side workload section saved with the snapshot
+// (nil if absent). The returned bytes are shared: treat as read-only.
+func (s *Snapshot) Section(name string) []byte { return s.sections[name] }
+
+// Cycle is the simulated time the snapshot was taken at.
+func (s *Snapshot) Cycle() uint64 { return s.cycle }
+
+// Size is the encoded snapshot length in bytes.
+func (s *Snapshot) Size() int { return len(s.data) }

@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec drives the -faults spec parser with adversarial input.
+// Invariants: the parser never panics; on error it returns a zero
+// Config; on success every rate is a real number in [0,1] (a NaN rate
+// would silently disable every Bernoulli draw downstream) and parsing is
+// deterministic. The committed corpus in testdata/fuzz covers the happy
+// path, every key, and historical near-misses (NaN, bare keys, empty
+// entries).
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("seed=42,disk.transient=0.01,net.drop=0.02,mem.ecc=1e-6")
+	f.Add("disk.transient=0.3,disk.slow=0.1,disk.slowfactor=8,disk.bad=0.002,disk.retries=12,disk.backoff=100000")
+	f.Add("net.drop=0.05,net.corrupt=0.02,net.dup=0.02,net.flap=0.001,net.flapdown=1000000,net.timeout=400000,net.retries=40")
+	f.Add("mem.ecc=NaN")
+	f.Add("mem.ecc=+Inf")
+	f.Add("seed=0x10,  disk.transient = 0.5 ,,")
+	f.Add("disk.transient")
+	f.Add("=1")
+	f.Add("unknown.key=1")
+	f.Add("seed=-1")
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := ParseSpec(spec)
+		if err != nil {
+			if c != (Config{}) {
+				t.Fatalf("error %v returned non-zero config %+v", err, c)
+			}
+			if !strings.Contains(err.Error(), "fault:") && !strings.Contains(err.Error(), "invalid") {
+				// All parser errors are wrapped with the package prefix;
+				// strconv errors surface through the bad-value wrap.
+				t.Fatalf("unbranded error: %v", err)
+			}
+			return
+		}
+		for _, r := range []struct {
+			name string
+			v    float64
+		}{
+			{"disk.transient", c.Disk.TransientRate},
+			{"disk.slow", c.Disk.SlowRate},
+			{"disk.bad", c.Disk.BadBlockRate},
+			{"net.drop", c.Net.DropRate},
+			{"net.corrupt", c.Net.CorruptRate},
+			{"net.dup", c.Net.DupRate},
+			{"net.flap", c.Net.FlapRate},
+			{"mem.ecc", c.Mem.ECCRate},
+		} {
+			if math.IsNaN(r.v) || r.v < 0 || r.v > 1 {
+				t.Fatalf("%s parsed to invalid rate %v from %q", r.name, r.v, spec)
+			}
+		}
+		// Determinism: re-parsing the same spec yields the same plan.
+		c2, err2 := ParseSpec(spec)
+		if err2 != nil || c2 != c {
+			t.Fatalf("re-parse of %q diverged: %+v/%v vs %+v", spec, c2, err2, c)
+		}
+		// A parsed plan must survive ApplyDefaults with all rates intact
+		// (defaults only fill recovery knobs, never rates).
+		d := c
+		d.ApplyDefaults()
+		if d.Disk.TransientRate != c.Disk.TransientRate || d.Mem.ECCRate != c.Mem.ECCRate {
+			t.Fatalf("ApplyDefaults changed a rate: %+v vs %+v", d, c)
+		}
+	})
+}

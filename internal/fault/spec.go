@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -80,7 +81,9 @@ func rate(v string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if f < 0 || f > 1 {
+	// NaN compares false against both bounds — reject it explicitly, or
+	// a "rate=NaN" spec would silently disable every Bernoulli draw.
+	if math.IsNaN(f) || f < 0 || f > 1 {
 		return 0, fmt.Errorf("rate %v outside [0,1]", f)
 	}
 	return f, nil

@@ -122,7 +122,11 @@ func Default() Config {
 	}
 }
 
-// Machine is the assembled system.
+// Machine is the assembled system. Machines are self-contained: two
+// Machine instances share no mutable state (every device, kernel and
+// backend structure hangs off the instance), so any number of machines
+// may Run concurrently on separate goroutines — the contract the
+// internal/expt worker pool is built on and the race target enforces.
 type Machine struct {
 	Cfg  Config
 	Sim  *core.Sim

@@ -1,15 +1,16 @@
 package compass
 
 import (
-	"bytes"
 	"fmt"
+	"strings"
 
-	"compass/internal/checkpoint"
+	"compass/internal/expt"
 	"compass/internal/frontend"
 	"compass/internal/isa"
 	"compass/internal/machine"
 	"compass/internal/mem"
 	"compass/internal/osserver"
+	"compass/internal/stats"
 )
 
 // RunBatchSweep is the interleave-granularity experiment (§2): procs
@@ -53,6 +54,27 @@ type BatchSweepPoint struct {
 	// Measured is the cycles this point actually simulated (End minus the
 	// shared warm phase's end cycle).
 	Measured uint64
+	// Counters is the point's full backend counter set (cache hits,
+	// traffic, ...) — part of the bit-equality surface the determinism
+	// regression test compares between serial and parallel runs.
+	Counters *stats.Counters
+}
+
+// SimCycles reports the point's measured cycles to the experiment
+// engine's progress line (expt.Cycled).
+func (p BatchSweepPoint) SimCycles() uint64 { return p.Measured }
+
+// Progress is the experiment engine's progress-line update; see
+// expt.Progress for fields.
+type Progress = expt.Progress
+
+// ExptOptions configures the parallel experiment engine behind the
+// fan-out helpers (RunBatchSweepWarmParallel, RunSeedCampaign).
+type ExptOptions struct {
+	// Workers sizes the host worker pool; <=0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives serialized progress updates.
+	Progress func(Progress)
 }
 
 // RunBatchSweepWarm runs the batch sweep with every point resumed from one
@@ -61,23 +83,76 @@ type BatchSweepPoint struct {
 // snapshot and simulates only its measured phase. Against len(batches) cold
 // starts, the total simulated cycles drop by (len(batches)-1) warm phases.
 // Returns the per-point measurements and the warm phase's end cycle.
+//
+// This is the serial path: one worker, points in order. It is the
+// reference the determinism test holds RunBatchSweepWarmParallel to.
 func RunBatchSweepWarm(cfg Config, batches []int, warmStores, stores int) ([]BatchSweepPoint, uint64, error) {
+	return RunBatchSweepWarmParallel(cfg, batches, warmStores, stores, ExptOptions{Workers: 1})
+}
+
+// RunBatchSweepWarmParallel fans the measured phases out across host
+// cores: the warm phase is simulated once, its snapshot bytes are shared
+// read-only, and each worker restores a private machine per point.
+// Points come back ordered by batches index — never completion order —
+// and are bit-identical to the Workers=1 run.
+func RunBatchSweepWarmParallel(cfg Config, batches []int, warmStores, stores int, opts ExptOptions) ([]BatchSweepPoint, uint64, error) {
 	m := machine.New(cfg)
 	spawnSweepProcs(m, cfg.CPUs, 0, 1, warmStores)
 	warmEnd := uint64(m.Sim.Run())
-	var snap bytes.Buffer
-	if err := checkpoint.Save(&snap, m); err != nil {
+	snap, err := expt.TakeSnapshot(m, nil)
+	if err != nil {
 		return nil, 0, err
 	}
-	points := make([]BatchSweepPoint, 0, len(batches))
-	for _, b := range batches {
-		rm, err := checkpoint.Restore(bytes.NewReader(snap.Bytes()))
-		if err != nil {
-			return nil, 0, err
+
+	jobs := make([]expt.Job[BatchSweepPoint], len(batches))
+	for i, b := range batches {
+		b := b
+		jobs[i] = expt.Job[BatchSweepPoint]{
+			Name: fmt.Sprintf("batch%d", b),
+			// Every point simulates the same store count; weight them
+			// equally by the expected measured cycles (~ stores).
+			EstCycles: uint64(stores),
+			Run: func() (BatchSweepPoint, error) {
+				rm, err := snap.Restore()
+				if err != nil {
+					return BatchSweepPoint{}, err
+				}
+				spawnSweepProcs(rm, cfg.CPUs, cfg.CPUs, b, stores)
+				end := uint64(rm.Sim.Run())
+				c := rm.Sim.Counters()
+				rm.FaultCounters(c)
+				return BatchSweepPoint{
+					Batch:    b,
+					End:      end,
+					Measured: end - warmEnd,
+					Counters: c,
+				}, nil
+			},
 		}
-		spawnSweepProcs(rm, cfg.CPUs, cfg.CPUs, b, stores)
-		end := uint64(rm.Sim.Run())
-		points = append(points, BatchSweepPoint{Batch: b, End: end, Measured: end - warmEnd})
 	}
-	return points, warmEnd, nil
+	rs := expt.Run(expt.Config{Workers: opts.Workers, Progress: opts.Progress}, jobs)
+	if err := expt.FirstErr(rs); err != nil {
+		return nil, 0, err
+	}
+	return expt.Values(rs), warmEnd, nil
+}
+
+// FormatSweepTable renders sweep points as a deterministic table — the
+// byte-equality surface for the serial-vs-parallel contract. The full
+// per-point counter dump is included so a single flipped backend event
+// anywhere breaks the comparison.
+func FormatSweepTable(points []BatchSweepPoint, warmEnd uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "warm end %d\n", warmEnd)
+	fmt.Fprintf(&b, "%8s %14s %14s\n", "batch", "end", "measured")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %14d %14d\n", p.Batch, p.End, p.Measured)
+	}
+	for _, p := range points {
+		fmt.Fprintf(&b, "-- batch %d counters --\n", p.Batch)
+		if p.Counters != nil {
+			b.WriteString(p.Counters.String())
+		}
+	}
+	return b.String()
 }
