@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench fuzz-smoke bench-sweep
+.PHONY: all build test race vet fmt check bench fuzz-smoke bench-sweep bench-core
 
 all: check
 
@@ -30,6 +30,11 @@ fuzz-smoke:
 # the CI uploads as an artifact.
 bench-sweep:
 	$(GO) run ./cmd/compassrun -sweepbench BENCH_sweep.json -parallel 0
+
+# Single-run engine throughput: heap-vs-calendar dispatch microbenchmark
+# plus end-to-end sim-cycles/sec for TPCC and SPECWeb.
+bench-core:
+	$(GO) run ./cmd/compassrun -corebench BENCH_core.json
 
 vet:
 	$(GO) vet ./...

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"compass"
@@ -24,28 +26,59 @@ import (
 
 func main() {
 	var (
-		workload  = flag.String("workload", "tpcd", "tpcc | tpcd | specweb | sor")
-		cpus      = flag.Int("cpus", 4, "simulated CPUs")
-		arch      = flag.String("arch", "simple", "fixed | simple | smp | ccnuma | coma")
-		nodes     = flag.Int("nodes", 1, "NUMA nodes (ccnuma/coma)")
-		placement = flag.String("placement", "round-robin", "round-robin | block | first-touch")
-		sched     = flag.String("sched", "fcfs", "fcfs | affinity")
-		preempt   = flag.Bool("preempt", false, "preemptive scheduling")
-		agents    = flag.Int("agents", 4, "workload processes")
-		tx        = flag.Int("tx", 25, "tpcc: transactions per agent")
-		rows      = flag.Int("rows", 16384, "tpcd: lineitem rows")
-		requests  = flag.Int("requests", 120, "specweb: trace length")
-		counters  = flag.Bool("counters", false, "dump backend counters")
-		syscalls  = flag.Bool("syscalls", false, "dump per-kernel-call profile")
-		syncd     = flag.Uint64("syncd", 0, "buffer-cache flush daemon interval in cycles (0 = off)")
-		migrate   = flag.Int("migrate", 0, "ccnuma page-migration threshold (0 = off)")
-		faults    = flag.String("faults", "", `fault plan, e.g. "seed=7,disk.transient=0.01,net.drop=0.02,mem.ecc=1e-6"`)
-		parallel  = flag.Int("parallel", 1, "experiment-engine workers (0 = host cores)")
-		seeds     = flag.Int("seeds", 0, "fault-seed campaign: run this many consecutive seeds from the -faults base seed")
-		progress  = flag.Bool("progress", false, "print an engine progress line to stderr")
-		benchPath = flag.String("sweepbench", "", "run the serial-vs-parallel batch sweep bench and write JSON here")
+		workload   = flag.String("workload", "tpcd", "tpcc | tpcd | specweb | sor")
+		cpus       = flag.Int("cpus", 4, "simulated CPUs")
+		arch       = flag.String("arch", "simple", "fixed | simple | smp | ccnuma | coma")
+		nodes      = flag.Int("nodes", 1, "NUMA nodes (ccnuma/coma)")
+		placement  = flag.String("placement", "round-robin", "round-robin | block | first-touch")
+		sched      = flag.String("sched", "fcfs", "fcfs | affinity")
+		preempt    = flag.Bool("preempt", false, "preemptive scheduling")
+		agents     = flag.Int("agents", 4, "workload processes")
+		tx         = flag.Int("tx", 25, "tpcc: transactions per agent")
+		rows       = flag.Int("rows", 16384, "tpcd: lineitem rows")
+		requests   = flag.Int("requests", 120, "specweb: trace length")
+		counters   = flag.Bool("counters", false, "dump backend counters")
+		syscalls   = flag.Bool("syscalls", false, "dump per-kernel-call profile")
+		syncd      = flag.Uint64("syncd", 0, "buffer-cache flush daemon interval in cycles (0 = off)")
+		migrate    = flag.Int("migrate", 0, "ccnuma page-migration threshold (0 = off)")
+		faults     = flag.String("faults", "", `fault plan, e.g. "seed=7,disk.transient=0.01,net.drop=0.02,mem.ecc=1e-6"`)
+		parallel   = flag.Int("parallel", 1, "experiment-engine workers (0 = host cores)")
+		seeds      = flag.Int("seeds", 0, "fault-seed campaign: run this many consecutive seeds from the -faults base seed")
+		progress   = flag.Bool("progress", false, "print an engine progress line to stderr")
+		benchPath  = flag.String("sweepbench", "", "run the serial-vs-parallel batch sweep bench and write JSON here")
+		coreBench  = flag.String("corebench", "", "run the single-run engine throughput bench and write JSON here")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := compass.DefaultConfig()
 	cfg.CPUs = *cpus
@@ -106,6 +139,20 @@ func main() {
 		}
 		if err := bench.WriteFile(*benchPath); err != nil {
 			fmt.Fprintf(os.Stderr, "sweep bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench)
+		return
+	}
+
+	if *coreBench != "" {
+		bench, err := compass.RunCoreBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "core bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteFile(*coreBench); err != nil {
+			fmt.Fprintf(os.Stderr, "core bench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(bench)

@@ -70,10 +70,12 @@ func (s *Sim) handleMem(p *procInfo, ev *comm.Event) {
 	node := s.NodeOf(p.cpu)
 
 	// Primary reference plus any batched ones, in order. A fault aborts
-	// the rest; the frontend resolves it and reissues.
-	refs := make([]comm.BatchRef, 0, 1+len(ev.Batch))
-	refs = append(refs, comm.BatchRef{Addr: ev.Addr, Size: ev.Size, Write: ev.Write, Kernel: ev.Kernel})
+	// the rest; the frontend resolves it and reissues. The scratch slice is
+	// reused across events — the references are consumed synchronously by
+	// the model walk below and never escape the handler.
+	refs := append(s.refBuf[:0], comm.BatchRef{Addr: ev.Addr, Size: ev.Size, Write: ev.Write, Kernel: ev.Kernel})
 	refs = append(refs, ev.Batch...)
+	s.refBuf = refs[:0]
 	for _, ref := range refs {
 		space := s.spaceFor(p, ref.Kernel)
 		pa, fault := space.Translate(ref.Addr, ref.Write)

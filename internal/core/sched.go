@@ -148,16 +148,23 @@ func (s *Sim) Wake(pid int, at event.Cycle) {
 // which mirrors the paper's interrupt-bit check on the event-port return
 // path (§3.2).
 func (s *Sim) scheduleQuantumTick() {
-	s.queue.At(s.queue.Now()+s.cfg.Quantum, "quantum", func() {
-		for c := range s.cpus {
-			occ := s.cpus[c].occupant
-			if occ >= 0 && occ == s.cpus[c].lastOccupant && len(s.ready) > 0 {
-				s.cpus[c].preempt = true
-			}
-			s.cpus[c].lastOccupant = occ
+	if s.quantumFn == nil {
+		// Bound once: the same func value is rescheduled every quantum, so
+		// re-arming allocates nothing.
+		s.quantumFn = s.quantumTick
+	}
+	s.queue.At(s.queue.Now()+s.cfg.Quantum, "quantum", s.quantumFn)
+}
+
+func (s *Sim) quantumTick() {
+	for c := range s.cpus {
+		occ := s.cpus[c].occupant
+		if occ >= 0 && occ == s.cpus[c].lastOccupant && len(s.ready) > 0 {
+			s.cpus[c].preempt = true
 		}
-		s.scheduleQuantumTick()
-	})
+		s.cpus[c].lastOccupant = occ
+	}
+	s.scheduleQuantumTick()
 }
 
 // maybePreempt parks the reply instead of delivering it when the process's
@@ -186,8 +193,14 @@ func (s *Sim) RaiseInterrupt(cpu int, at event.Cycle, handlerCycles event.Cycle,
 	st := s.hub.CPU(cpu)
 	if !st.Enabled {
 		st.IRQ++
+		// Deferral outlives the call, and device drivers reuse their touch
+		// buffers across interrupts — copy on this (rare) path.
+		var tc []KernelTouch
+		if len(touches) > 0 {
+			tc = append(tc, touches...)
+		}
 		s.cpus[cpu].deferred = append(s.cpus[cpu].deferred, deferredIntr{
-			cycles: handlerCycles, touches: touches,
+			cycles: handlerCycles, touches: tc,
 		})
 		s.counters.Inc("intr.deferred", 1)
 		return

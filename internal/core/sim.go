@@ -136,10 +136,17 @@ type Sim struct {
 	live    int
 	daemons int
 
-	nonDaemon int
 	curTime   event.Cycle
 	curProcID int
 	curBlock  bool
+
+	// refBuf is the reusable batch-reference scratch for handleMem: one
+	// memory event can carry a piggybacked batch, and the references only
+	// live for the duration of the synchronous model walk.
+	refBuf []comm.BatchRef
+	// quantumFn is the preemption tick bound once, so periodic re-arming
+	// does not allocate a closure per quantum.
+	quantumFn func()
 
 	// idleIntr accumulates interrupt-handler cycles delivered to CPUs with
 	// no process dispatched (nobody to steal from).
@@ -295,7 +302,7 @@ func (s *Sim) Run() event.Cycle {
 	defer s.hub.Unlock()
 	armed := false
 	for {
-		if s.live-s.daemons == 0 && s.nonDaemon == 0 {
+		if s.live-s.daemons == 0 && s.queue.KeepAlive() == 0 {
 			break
 		}
 		pick, minRun, running, posted := s.hub.Scan()
@@ -388,7 +395,7 @@ func (s *Sim) describeStuck() string {
 // ScheduleTask schedules fn in the backend's global event queue at delay
 // cycles after the current processing time (backend context). Non-daemon
 // tasks keep the simulation alive; daemon tasks (periodic timers) do not.
-func (s *Sim) ScheduleTask(delay event.Cycle, label string, daemon bool, fn func()) *event.Task {
+func (s *Sim) ScheduleTask(delay event.Cycle, label string, daemon bool, fn func()) event.TaskRef {
 	when := s.curTime + delay
 	if qn := s.queue.Now(); when < qn {
 		when = qn
@@ -396,11 +403,9 @@ func (s *Sim) ScheduleTask(delay event.Cycle, label string, daemon bool, fn func
 	if daemon {
 		return s.queue.At(when, label, fn)
 	}
-	s.nonDaemon++
-	return s.queue.At(when, label, func() {
-		s.nonDaemon--
-		fn()
-	})
+	// The queue does the keep-alive accounting itself (released on dispatch
+	// or cancel), so no per-task wrapper closure is allocated here.
+	return s.queue.AtKeep(when, label, fn)
 }
 
 // Counters returns a merged snapshot of backend statistics (call after

@@ -60,7 +60,7 @@ type SimState struct {
 
 // CancelTask removes a scheduled task from the global queue (backend
 // context; restore re-arming and test teardown).
-func (s *Sim) CancelTask(t *event.Task) { s.queue.Cancel(t) }
+func (s *Sim) CancelTask(t event.TaskRef) { s.queue.Cancel(t) }
 
 // SetQueueState overwrites the event queue's clock/seq/dispatched state.
 // Restore orchestration calls it LAST, after daemon timers have re-armed,
@@ -73,9 +73,9 @@ func (s *Sim) SetQueueState(st event.QueueState) { s.queue.SetState(st) }
 // is occupied or holds deferred interrupts, and interrupts are enabled
 // everywhere.
 func (s *Sim) Quiesced() error {
-	if s.live-s.daemons != 0 || s.nonDaemon != 0 {
+	if s.live-s.daemons != 0 || s.queue.KeepAlive() != 0 {
 		return fmt.Errorf("core: not quiescent: %d live processes, %d non-daemon tasks",
-			s.live-s.daemons, s.nonDaemon)
+			s.live-s.daemons, s.queue.KeepAlive())
 	}
 	for _, p := range s.procs {
 		if !p.exited {

@@ -45,27 +45,31 @@ func DefaultRTCConfig() RTCConfig {
 // interval-timer interrupt time on every CPU — the "interval timer" share
 // of TPCC/TPCD interrupt time in Table 1.
 type RTC struct {
-	sim   *core.Sim
-	cfg   RTCConfig
-	armed *event.Task
-	Ticks uint64
+	sim    *core.Sim
+	cfg    RTCConfig
+	armed  event.TaskRef
+	tickFn func()
+	Ticks  uint64
 }
 
 // NewRTC starts the clock (backend setup context).
 func NewRTC(sim *core.Sim, cfg RTCConfig) *RTC {
 	r := &RTC{sim: sim, cfg: cfg}
+	r.tickFn = r.tick // bound once; re-arming allocates nothing per tick
 	r.armAt(r.cfg.TickCycles)
 	return r
 }
 
 func (r *RTC) armAt(delay event.Cycle) {
-	r.armed = r.sim.ScheduleTask(delay, "rtc-tick", true, func() {
-		r.Ticks++
-		for c := 0; c < r.sim.CPUs(); c++ {
-			r.sim.RaiseInterrupt(c, r.sim.CurTime(), r.cfg.HandlerCycles, nil)
-		}
-		r.armAt(r.cfg.TickCycles)
-	})
+	r.armed = r.sim.ScheduleTask(delay, "rtc-tick", true, r.tickFn)
+}
+
+func (r *RTC) tick() {
+	r.Ticks++
+	for c := 0; c < r.sim.CPUs(); c++ {
+		r.sim.RaiseInterrupt(c, r.sim.CurTime(), r.cfg.HandlerCycles, nil)
+	}
+	r.armAt(r.cfg.TickCycles)
 }
 
 // Time returns seconds of simulated time given a cycles-per-second rate.
@@ -126,6 +130,15 @@ type Disk struct {
 	head    int
 	sweepUp bool
 	seq     uint64
+
+	// In-flight completion state: the arm serves one request at a time, so
+	// the completion task is a single bound method reading cur/curStatus,
+	// and the handler's kernel-touch list is built in a reusable buffer
+	// (RaiseInterrupt consumes it synchronously or copies on deferral).
+	cur        diskReq
+	curStatus  fault.DiskStatus
+	completeFn func()
+	touchBuf   []core.KernelTouch
 
 	Reads, Writes uint64
 	BusyCycles    event.Cycle
@@ -248,22 +261,35 @@ func (d *Disk) kick() {
 	}
 	d.BusyCycles += service
 	d.head = req.block
-	d.sim.ScheduleTask(service, "disk-complete", false, func() {
-		d.busy = false
-		cpu := d.irq.route()
-		touches := make([]core.KernelTouch, 0, d.cfg.HandlerTouches)
-		for i := 0; i < d.cfg.HandlerTouches; i++ {
-			touches = append(touches, core.KernelTouch{
-				Addr:  d.ringVA + mem.VirtAddr((int(req.seq)*d.cfg.HandlerTouches+i)*32%mem.PageSize),
-				Write: i%2 == 0,
-			})
-		}
-		d.sim.RaiseInterrupt(cpu, d.sim.CurTime(), d.cfg.HandlerCycles, touches)
-		if req.onDone != nil {
-			req.onDone(d.sim.CurTime(), status)
-		}
-		d.kick()
-	})
+	d.cur = req
+	d.curStatus = status
+	if d.completeFn == nil {
+		d.completeFn = d.complete
+	}
+	d.sim.ScheduleTask(service, "disk-complete", false, d.completeFn)
+}
+
+// complete finishes the in-flight request: completion interrupt with its
+// kernel buffer-header traffic, the submitter's callback, then the next
+// queued request.
+func (d *Disk) complete() {
+	req, status := d.cur, d.curStatus
+	d.cur.onDone = nil
+	d.busy = false
+	cpu := d.irq.route()
+	touches := d.touchBuf[:0]
+	for i := 0; i < d.cfg.HandlerTouches; i++ {
+		touches = append(touches, core.KernelTouch{
+			Addr:  d.ringVA + mem.VirtAddr((int(req.seq)*d.cfg.HandlerTouches+i)*32%mem.PageSize),
+			Write: i%2 == 0,
+		})
+	}
+	d.touchBuf = touches[:0]
+	d.sim.RaiseInterrupt(cpu, d.sim.CurTime(), d.cfg.HandlerCycles, touches)
+	if req.onDone != nil {
+		req.onDone(d.sim.CurTime(), status)
+	}
+	d.kick()
 }
 
 // pickNext selects the next request: FIFO by default; with the elevator,
@@ -381,6 +407,10 @@ type NIC struct {
 	// reaches the wire's far end (the external client).
 	OnTransmit func(pkt Packet, at event.Cycle)
 
+	// touchBuf is the reusable kernel-touch scratch for interrupt raises
+	// (consumed synchronously or copied on the masked-CPU deferral path).
+	touchBuf []core.KernelTouch
+
 	RxPackets, TxPackets uint64
 	RxBytes, TxBytes     uint64
 }
@@ -395,13 +425,14 @@ func NewNIC(sim *core.Sim, cfg NICConfig) *NIC {
 }
 
 func (n *NIC) touches(count int, seed uint64) []core.KernelTouch {
-	out := make([]core.KernelTouch, 0, count)
+	out := n.touchBuf[:0]
 	for i := 0; i < count; i++ {
 		out = append(out, core.KernelTouch{
 			Addr:  n.ring + mem.VirtAddr((seed*uint64(count)+uint64(i))*32%mem.PageSize),
 			Write: i%2 == 0,
 		})
 	}
+	n.touchBuf = out[:0]
 	return out
 }
 

@@ -1,0 +1,134 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The dispatch microbenchmarks drive both queue implementations through the
+// same workload shapes the backend generates: steady near-future scheduling
+// from dispatch context (device completions), same-cycle bursts (batched
+// frontend events), far-future timers crossing the overflow boundary, and a
+// schedule/cancel mix. b.ReportAllocs makes the pooling win visible next to
+// the ns/op win.
+
+// benchSteady keeps `depth` tasks in flight; every dispatch schedules its
+// replacement a short delta ahead — the disk/NIC completion pattern.
+func benchCalendarSteady(b *testing.B, depth int, delta Cycle) {
+	q := NewQueue()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		q.After(delta, "t", fn)
+	}
+	for i := 0; i < depth; i++ {
+		q.After(Cycle(i)%delta+1, "t", fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Step()
+	}
+}
+
+func benchHeapSteady(b *testing.B, depth int, delta Cycle) {
+	q := NewHeapQueue()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		q.After(delta, "t", fn)
+	}
+	for i := 0; i < depth; i++ {
+		q.After(Cycle(i)%delta+1, "t", fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Step()
+	}
+}
+
+func BenchmarkCalendarSteady64(b *testing.B)  { benchCalendarSteady(b, 64, 800) }
+func BenchmarkHeapSteady64(b *testing.B)      { benchHeapSteady(b, 64, 800) }
+func BenchmarkCalendarSteady1k(b *testing.B)  { benchCalendarSteady(b, 1024, 800) }
+func BenchmarkHeapSteady1k(b *testing.B)      { benchHeapSteady(b, 1024, 800) }
+func BenchmarkCalendarOverflow(b *testing.B)  { benchCalendarSteady(b, 256, 3*ringWindow) }
+func BenchmarkHeapOverflow(b *testing.B)      { benchHeapSteady(b, 256, 3*ringWindow) }
+func BenchmarkCalendarSameCycle(b *testing.B) { benchCalendarSameCycle(b) }
+func BenchmarkHeapSameCycle(b *testing.B)     { benchHeapSameCycle(b) }
+
+// benchSameCycle schedules bursts of ties and drains them — the batched
+// frontend-event shape where FIFO tie-breaking is exercised hardest.
+func benchCalendarSameCycle(b *testing.B) {
+	q := NewQueue()
+	n := 0
+	fn := func() { n++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 32 {
+		for j := 0; j < 32; j++ {
+			q.After(5, "tie", fn)
+		}
+		for q.Step() {
+		}
+	}
+}
+
+func benchHeapSameCycle(b *testing.B) {
+	q := NewHeapQueue()
+	n := 0
+	fn := func() { n++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 32 {
+		for j := 0; j < 32; j++ {
+			q.After(5, "tie", fn)
+		}
+		for q.Step() {
+		}
+	}
+}
+
+// benchMix is the schedule/dispatch/cancel mix from the ISSUE: 8 schedules,
+// 2 cancels, then drain, per round.
+func BenchmarkCalendarMix(b *testing.B) {
+	q := NewQueue()
+	rng := rand.New(rand.NewSource(1))
+	n := 0
+	fn := func() { n++ }
+	refs := make([]TaskRef, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 8 {
+		refs = refs[:0]
+		for j := 0; j < 8; j++ {
+			refs = append(refs, q.After(Cycle(rng.Intn(600)+1), "m", fn))
+		}
+		q.Cancel(refs[rng.Intn(8)])
+		q.Cancel(refs[rng.Intn(8)])
+		for q.Step() {
+		}
+	}
+}
+
+func BenchmarkHeapMix(b *testing.B) {
+	q := NewHeapQueue()
+	rng := rand.New(rand.NewSource(1))
+	n := 0
+	fn := func() { n++ }
+	refs := make([]*HeapTask, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 8 {
+		refs = refs[:0]
+		for j := 0; j < 8; j++ {
+			refs = append(refs, q.After(Cycle(rng.Intn(600)+1), "m", fn))
+		}
+		q.Cancel(refs[rng.Intn(8)])
+		q.Cancel(refs[rng.Intn(8)])
+		for q.Step() {
+		}
+	}
+}

@@ -91,7 +91,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	q := NewQueue()
 	var got []Cycle
-	var tasks []*Task
+	var tasks []TaskRef
 	for _, c := range []Cycle{1, 2, 3, 4, 5, 6, 7, 8} {
 		c := c
 		tasks = append(tasks, q.At(c, "t", func() { got = append(got, c) }))
@@ -190,7 +190,7 @@ func TestQuickCancelSubset(t *testing.T) {
 		q := NewQueue()
 		total := int(n%64) + 1
 		ran := make([]bool, total)
-		tasks := make([]*Task, total)
+		tasks := make([]TaskRef, total)
 		for i := 0; i < total; i++ {
 			i := i
 			tasks[i] = q.At(Cycle(rng.Intn(100)), "q", func() { ran[i] = true })
