@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench fuzz-smoke bench-sweep bench-core
+.PHONY: all build test race vet vet-compass staticcheck fmt check bench fuzz-smoke bench-sweep bench-core
 
 all: check
 
@@ -39,14 +39,29 @@ bench-core:
 vet:
 	$(GO) vet ./...
 
+# The determinism/snapshot invariant suite (see DESIGN.md §11). Fails
+# on any finding not recorded in compassvet.baseline.json.
+vet-compass:
+	$(GO) run ./cmd/compassvet ./...
+
+# staticcheck is optional tooling: run it when installed (CI installs
+# it), skip quietly on machines that don't have it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# The tier-1 gate: formatting, vet, full tests, then the race pass.
-check: fmt vet test race
+# The tier-1 gate: formatting, vet, the invariant analyzers, full
+# tests, then the race pass.
+check: fmt vet vet-compass staticcheck test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -201,6 +201,7 @@ func main() {
 	res := runner(cfg)
 	fmt.Println(res)
 	keys := make([]string, 0, len(res.Extra))
+	//det:ordered keys are sorted before printing
 	for k := range res.Extra {
 		keys = append(keys, k)
 	}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A BaselineEntry identifies one accepted finding. Line numbers are
+// deliberately not part of the identity — unrelated edits move code —
+// so an entry is (analyzer, file, message). Repeated identical
+// findings in one file are matched by count.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// A Baseline is the set of findings accepted by a past review; the
+// multichecker suppresses them so they don't block CI while still
+// failing on anything new.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error, so repos without accepted findings need no
+// file at all.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline records the given findings as accepted.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	b := &Baseline{Findings: make([]BaselineEntry, 0, len(diags))}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, BaselineEntry{Analyzer: d.Analyzer, File: d.Pos.Filename, Message: d.Message})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter partitions diags into fresh findings and the number
+// suppressed by the baseline. stale reports baseline entries that no
+// longer match anything — candidates for removal.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, suppressed int, stale []BaselineEntry) {
+	budget := make(map[string]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[baselineKey(e.Analyzer, e.File, e.Message)]++
+	}
+	for _, d := range diags {
+		k := baselineKey(d.Analyzer, d.Pos.Filename, d.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Findings {
+		k := baselineKey(e.Analyzer, e.File, e.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			stale = append(stale, e)
+		}
+	}
+	return fresh, suppressed, stale
+}

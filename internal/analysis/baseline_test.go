@@ -1,0 +1,71 @@
+package analysis_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"compass/internal/analysis"
+)
+
+func diag(analyzer, file, msg string) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: 1, Column: 1},
+		Message:  msg,
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := analysis.LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(b.Findings) != 0 {
+		t.Fatalf("expected empty baseline, got %d findings", len(b.Findings))
+	}
+}
+
+func TestBaselineRoundTripAndFilter(t *testing.T) {
+	accepted := []analysis.Diagnostic{
+		diag("evtclosure", "internal/dev/dev.go", "closure captures n"),
+		diag("evtclosure", "internal/dev/dev.go", "closure captures n"), // same finding twice: count budget
+		diag("snapfields", "internal/fs/fs.go", "field FS.x not covered"),
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := analysis.WriteBaseline(path, accepted); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := analysis.LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(b.Findings) != 3 {
+		t.Fatalf("round trip kept %d findings, want 3", len(b.Findings))
+	}
+
+	// One accepted finding recurs, one is fixed (goes stale), one new
+	// finding appears, and a third instance of the doubled finding
+	// exceeds its count budget.
+	now := []analysis.Diagnostic{
+		diag("evtclosure", "internal/dev/dev.go", "closure captures n"),
+		diag("evtclosure", "internal/dev/dev.go", "closure captures n"),
+		diag("evtclosure", "internal/dev/dev.go", "closure captures n"),
+		diag("detwallclock", "internal/core/sim.go", "time.Now in simulation package core"),
+	}
+	fresh, suppressed, stale := b.Filter(now)
+	if suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2", suppressed)
+	}
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %d findings, want 2 (budget overflow + new)", len(fresh))
+	}
+	for _, f := range fresh {
+		if f.Analyzer != "evtclosure" && f.Analyzer != "detwallclock" {
+			t.Errorf("unexpected fresh finding from %s", f.Analyzer)
+		}
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "snapfields" {
+		t.Fatalf("stale = %+v, want the one snapfields entry", stale)
+	}
+}

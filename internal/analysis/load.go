@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the go tool (run in dir), parses every
+// matched non-standard package's non-test files, and type-checks them
+// against the compiler's export data for their dependencies. This keeps
+// the framework dependency-free: `go list -deps -export` compiles the
+// transitive closure (standard library included) and hands back export
+// files, which go/importer's gc importer reads via the lookup hook.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Export,Dir,GoFiles,Standard,Name,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadTree loads packages GOPATH-style from a source tree: a package's
+// import path is its directory relative to root. Imports whose
+// directory exists under root are parsed and type-checked from source,
+// transitively; every other import resolves to compiler export data
+// fetched on demand with `go list -export`. This is the analysistest
+// loader: fixtures under testdata/src get module-shaped import paths
+// ("internal/core", "internal/event") — so the analyzers' package
+// classifiers behave exactly as they do on the real tree — without the
+// fixtures being part of the module build.
+func LoadTree(root string, paths ...string) ([]*Package, error) {
+	ti := &treeImporter{
+		root:    root,
+		fset:    token.NewFileSet(),
+		loaded:  make(map[string]*Package),
+		loading: make(map[string]bool),
+		exports: make(map[string]string),
+	}
+	ti.gc = exportImporter(ti.fset, ti.exports)
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := ti.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// treeImporter resolves imports for LoadTree: tree packages from
+// source, everything else from export data.
+type treeImporter struct {
+	root    string
+	fset    *token.FileSet
+	loaded  map[string]*Package
+	loading map[string]bool
+	exports map[string]string
+	gc      types.Importer
+}
+
+// Import implements types.Importer for the type-checker.
+func (ti *treeImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(ti.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := ti.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if _, ok := ti.exports[path]; !ok {
+		if err := ti.fetchExports(path); err != nil {
+			return nil, err
+		}
+	}
+	return ti.gc.Import(path)
+}
+
+// load parses and type-checks one tree package (memoized).
+func (ti *treeImporter) load(path string) (*Package, error) {
+	if pkg, ok := ti.loaded[path]; ok {
+		return pkg, nil
+	}
+	if ti.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ti.loading[path] = true
+	defer delete(ti.loading, path)
+
+	dir := filepath.Join(ti.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %v", path, err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			goFiles = append(goFiles, name)
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("loading %s: no Go files in %s", path, dir)
+	}
+	pkg, err := check(ti.fset, ti, path, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	ti.loaded[path] = pkg
+	return pkg, nil
+}
+
+// fetchExports compiles path plus its dependencies and records their
+// export-data files for the gc importer's lookup hook.
+func (ti *treeImporter) fetchExports(path string) error {
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			ti.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// exportImporter returns a types.Importer that reads compiler export
+// data from the given path->file map.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+}
+
+// check parses and type-checks one package from source.
+func check(fset *token.FileSet, imp types.Importer, pkgPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,9 @@
+// Package hostutil is host-side tooling: it is outside the simulation
+// package set, so detwallclock must stay silent about its wall-clock
+// reads.
+package hostutil
+
+import "time"
+
+// Stamp returns a host timestamp for log-file names.
+func Stamp() string { return time.Now().Format(time.RFC3339) }

@@ -1,0 +1,46 @@
+// Package dev is the evtclosure fixture for a hot simulation package:
+// any capturing literal handed to the scheduler allocates on the
+// dispatch path and is flagged; prebound method values and static
+// (non-capturing) literals stay legal.
+package dev
+
+import (
+	"internal/core"
+	"internal/event"
+)
+
+var (
+	idleTicks uint64
+	sink      int
+)
+
+// Disk is a miniature device model.
+type Disk struct {
+	sim     *core.Sim
+	q       *event.Queue
+	ops     uint64
+	pending []int
+}
+
+func (d *Disk) tick() { d.ops++ }
+
+// goodPrebound schedules a method value: no literal, no allocation.
+func (d *Disk) goodPrebound() {
+	d.q.At(d.q.Now()+1, "tick", d.tick)
+}
+
+// goodStatic schedules a literal that captures nothing — package-level
+// variables do not force a heap funcval.
+func (d *Disk) goodStatic() {
+	d.q.At(d.q.Now()+1, "idle", func() { idleTicks++ })
+}
+
+func (d *Disk) badCapture() {
+	d.q.At(d.q.Now()+1, "tick", func() { d.ops++ }) // want `captures "d" in hot package dev`
+}
+
+func (d *Disk) badLoopVar() {
+	for _, op := range d.pending {
+		d.sim.ScheduleTask(1, "op", false, func() { sink = op }) // want `closure passed to Sim\.ScheduleTask captures per-iteration variable "op"`
+	}
+}

@@ -1,0 +1,24 @@
+// Package fs is the evtclosure fixture for a simulation package
+// outside the hot set: a capturing literal is legal on a cold path,
+// but still flagged inside a loop (one allocation per iteration).
+package fs
+
+import "internal/event"
+
+// FS is a miniature file-system model.
+type FS struct {
+	q       *event.Queue
+	flushed int
+}
+
+// goodColdCapture captures the receiver outside any loop: legal
+// outside the hot packages.
+func (f *FS) goodColdCapture() {
+	f.q.At(f.q.Now()+10, "sync", func() { f.flushed++ })
+}
+
+func (f *FS) badInLoop() {
+	for i := 0; i < 4; i++ {
+		f.q.At(f.q.Now()+event.Cycle(i), "flush", func() { f.flushed++ }) // want `closure passed to Queue\.At inside a loop captures "f"`
+	}
+}

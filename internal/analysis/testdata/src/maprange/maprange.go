@@ -1,0 +1,115 @@
+// Package maprange is the detmaprange fixture: map-range loops whose
+// bodies are order-sensitive (flagged), the commutative and keyed
+// forms that are safe (silent), and the //det:ordered escape hatch
+// with and without its mandatory justification.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"internal/event"
+)
+
+type stats struct {
+	counts map[string]int
+	total  int
+	mean   float64
+	names  []string
+}
+
+func (s *stats) appendUnsorted() {
+	for k := range s.counts { // want `iteration over map s\.counts is order-sensitive: appends to s\.names`
+		s.names = append(s.names, k)
+	}
+}
+
+func (s *stats) appendThenSort() {
+	//det:ordered names are sorted immediately below
+	for k := range s.counts {
+		s.names = append(s.names, k)
+	}
+	sort.Strings(s.names)
+}
+
+func (s *stats) missingJustification() {
+	//det:ordered
+	for k := range s.counts { // want `//det:ordered on an order-sensitive map range needs a justification`
+		s.names = append(s.names, k)
+	}
+	sort.Strings(s.names)
+}
+
+func (s *stats) intAccumulate() {
+	// Integer += commutes across iterations: safe under any order.
+	for _, v := range s.counts {
+		s.total += v
+	}
+}
+
+func (s *stats) floatAccumulate() {
+	for _, v := range s.counts { // want `accumulates floating-point s\.mean`
+		s.mean += float64(v)
+	}
+}
+
+func (s *stats) lastWriterWins() string {
+	var last string
+	for k := range s.counts { // want `assigns last \(last writer wins under randomized order\)`
+		last = k
+	}
+	return last
+}
+
+func (s *stats) concat() string {
+	joined := ""
+	for k := range s.counts { // want `concatenates onto joined in map-iteration order`
+		joined += k
+	}
+	return joined
+}
+
+// invert writes into a slot selected by the ranged value: a distinct
+// key per iteration commutes, so no finding.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func dump(m map[string]int) {
+	for k, v := range m { // want `calls fmt\.Printf in map-iteration order`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func render(m map[string]int, b *strings.Builder) {
+	for k := range m { // want `writes output via b\.WriteString in map-iteration order`
+		b.WriteString(k)
+	}
+}
+
+func noop() {}
+
+func schedule(q *event.Queue, pending map[string]event.Cycle) {
+	for _, when := range pending { // want `schedules event-queue tasks \(Queue\.At\) in map-iteration order`
+		q.At(when, "wake", noop)
+	}
+}
+
+// sortedDump is the canonical deterministic idiom: collect keys under
+// a justified annotation, sort, then iterate the slice freely.
+func sortedDump(m map[string]int, b *strings.Builder) {
+	keys := make([]string, 0, len(m))
+	//det:ordered keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s=%d\n", k, m[k])
+	}
+}

@@ -1,0 +1,10 @@
+package snapbad
+
+// Snap is the serialized form of Core — missing Cycles.
+type Snap struct{ PC uint64 }
+
+// Snapshot captures PC but forgets Cycles.
+func (c *Core) Snapshot() Snap { return Snap{PC: c.PC} }
+
+// Restore puts back what Snapshot saved.
+func (c *Core) Restore(s Snap) { c.PC = s.PC }

@@ -1,0 +1,20 @@
+// Package snapbad is the snapfields positive fixture: the snapshotted
+// type has a field its snapshot.go forgot (silently restores to zero)
+// and a //ckpt:skip annotation with no reason.
+package snapbad
+
+// Core is a snapshotted model whose checkpoint code is incomplete.
+type Core struct {
+	PC     uint64
+	Cycles uint64 // want `field Core\.Cycles is not covered by snapbad's snapshot\.go`
+	//ckpt:skip
+	scratch []byte // want `//ckpt:skip on Core\.scratch needs a reason`
+}
+
+// Touch exercises the scratch buffer so it is not dead code.
+func (c *Core) Touch() {
+	if c.scratch == nil {
+		c.scratch = make([]byte, 8)
+	}
+	c.Cycles++
+}

@@ -1,0 +1,16 @@
+package snapgood
+
+// Snap is the serialized form of Core.
+type Snap struct {
+	PC     uint64
+	Cycles uint64
+}
+
+// Snapshot captures the architectural state.
+func (c *Core) Snapshot() Snap { return Snap{PC: c.PC, Cycles: c.Cycles} }
+
+// Restore overwrites the architectural state.
+func (c *Core) Restore(s Snap) {
+	c.PC = s.PC
+	c.Cycles = s.Cycles
+}

@@ -44,6 +44,7 @@ type BTree struct {
 // it as a table file (setup context). Entries need not be pre-sorted.
 func BuildBTree(filesys *fs.FS, cat *Catalog, name, file string, entries map[uint32]uint32) *BTree {
 	keys := make([]uint32, 0, len(entries))
+	//det:ordered keys are sorted before the tree is built
 	for k := range entries {
 		keys = append(keys, k)
 	}

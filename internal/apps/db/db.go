@@ -177,6 +177,7 @@ func NewAgent(p *frontend.Proc, cat *Catalog) *Agent {
 	// Open table files in sorted order: map iteration order would make
 	// the syscall sequence — and hence the simulation — nondeterministic.
 	names := make([]string, 0, len(cat.Tables))
+	//det:ordered names are sorted before any syscall is issued
 	for name := range cat.Tables {
 		names = append(names, name)
 	}

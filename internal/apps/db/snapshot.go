@@ -59,6 +59,7 @@ func SaveState(c *Catalog) ([]byte, error) {
 		})
 	}
 	names := make([]string, 0, len(c.Tables))
+	//det:ordered names are sorted before serialization
 	for name := range c.Tables {
 		names = append(names, name)
 	}

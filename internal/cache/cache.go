@@ -84,10 +84,10 @@ type Victim struct {
 // Cache is one cache array. It is not safe for concurrent use; the backend
 // owns all caches.
 type Cache struct {
-	cfg      Config
+	cfg      Config //ckpt:skip cfg rebuilt by New from the same Config the snapshot was taken under
 	sets     []line // sets*assoc lines, row-major
-	numSets  uint64
-	lineBits uint
+	numSets  uint64 //ckpt:skip geometry derived from cfg; Restore verifies by line count
+	lineBits uint   //ckpt:skip geometry derived from cfg
 	clock    uint64
 
 	Hits       uint64

@@ -57,7 +57,7 @@ type holderEntry struct {
 
 // System is the COMA memory system; it implements memsys.Model.
 type System struct {
-	cfg  Config
+	cfg  Config //ckpt:skip rebuilt by New from the machine's Config
 	l1s  []*cache.Cache
 	ams  []*cache.Cache
 	net  *noc.Network

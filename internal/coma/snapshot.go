@@ -56,6 +56,7 @@ func (s *System) Snapshot() Snapshot {
 	for _, r := range s.memc {
 		sn.Memc = append(sn.Memc, r.State())
 	}
+	//det:ordered sn.Dir is sorted by Addr below
 	for addr, e := range s.dir {
 		sn.Dir = append(sn.Dir, HolderSnap{Addr: uint64(addr), Holders: e.holders, Owner: e.owner})
 	}

@@ -121,14 +121,14 @@ type procInfo struct {
 
 // Sim is the backend simulation process.
 type Sim struct {
-	cfg    Config
+	cfg    Config //ckpt:skip rebuilt by New from the machine's Config
 	hub    *comm.Hub
 	queue  *event.Queue
-	phys   *mem.Physical
-	shm    *mem.ShmRegistry
-	kernel *mem.Space
-	model  memsys.Model
-	ecc    *mem.ECC
+	phys   *mem.Physical    //ckpt:skip subsystem wiring; machine.Restore restores it separately
+	shm    *mem.ShmRegistry //ckpt:skip subsystem wiring; machine.Restore restores it separately
+	kernel *mem.Space       //ckpt:skip subsystem wiring; machine.Restore restores it separately
+	model  memsys.Model     //ckpt:skip subsystem wiring; machine.Restore restores the model's own snapshot
+	ecc    *mem.ECC         //ckpt:skip subsystem wiring; machine.Restore restores the sampler's own snapshot
 
 	procs   []*procInfo
 	cpus    []cpuInfo
@@ -137,16 +137,16 @@ type Sim struct {
 	daemons int
 
 	curTime   event.Cycle
-	curProcID int
-	curBlock  bool
+	curProcID int  //ckpt:skip current-dispatch scratch; quiescence means no block is in flight
+	curBlock  bool //ckpt:skip current-dispatch scratch; quiescence means no block is in flight
 
 	// refBuf is the reusable batch-reference scratch for handleMem: one
 	// memory event can carry a piggybacked batch, and the references only
 	// live for the duration of the synchronous model walk.
-	refBuf []comm.BatchRef
+	refBuf []comm.BatchRef //ckpt:skip reusable scratch, dead outside one handleMem walk
 	// quantumFn is the preemption tick bound once, so periodic re-arming
 	// does not allocate a closure per quantum.
-	quantumFn func()
+	quantumFn func() //ckpt:skip prebound function value, re-created by New
 
 	// idleIntr accumulates interrupt-handler cycles delivered to CPUs with
 	// no process dispatched (nobody to steal from).
@@ -155,7 +155,7 @@ type Sim struct {
 
 	ctxSwitches  uint64
 	preemptions  uint64
-	deadlockInfo string
+	deadlockInfo string //ckpt:skip diagnostic text; a deadlocked run refuses to checkpoint
 }
 
 // New builds a simulator from cfg.

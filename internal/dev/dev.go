@@ -48,7 +48,7 @@ type RTC struct {
 	sim    *core.Sim
 	cfg    RTCConfig
 	armed  event.TaskRef
-	tickFn func()
+	tickFn func() //ckpt:skip prebound function value, re-created by NewRTC
 	Ticks  uint64
 }
 
@@ -117,11 +117,12 @@ const BlockSize = mem.PageSize
 // positional seek model, and DMA completion interrupts. Block contents are
 // functional: the filesystem reads and writes real bytes.
 type Disk struct {
-	sim    *core.Sim
-	cfg    DiskConfig
-	irq    irqRouter
-	inj    *fault.DiskInjector
-	data   map[int][]byte
+	sim  *core.Sim //ckpt:skip backend wiring, re-created by NewDisk
+	cfg  DiskConfig
+	irq  irqRouter
+	inj  *fault.DiskInjector //ckpt:skip machine.Restore restores the injector's own snapshot
+	data map[int][]byte
+	//ckpt:skip fixed kernel-layout address assigned at construction
 	ringVA mem.VirtAddr // kernel addresses the handler touches
 
 	// Backend-owned arm state.
@@ -135,10 +136,10 @@ type Disk struct {
 	// the completion task is a single bound method reading cur/curStatus,
 	// and the handler's kernel-touch list is built in a reusable buffer
 	// (RaiseInterrupt consumes it synchronously or copies on deferral).
-	cur        diskReq
-	curStatus  fault.DiskStatus
-	completeFn func()
-	touchBuf   []core.KernelTouch
+	cur        diskReq            //ckpt:skip in-flight completion state; Snapshot rejects a non-quiescent disk
+	curStatus  fault.DiskStatus   //ckpt:skip in-flight completion state; Snapshot rejects a non-quiescent disk
+	completeFn func()             //ckpt:skip prebound function value, re-created by NewDisk
+	touchBuf   []core.KernelTouch //ckpt:skip reusable scratch, dead between interrupt raises
 
 	Reads, Writes uint64
 	BusyCycles    event.Cycle
@@ -393,23 +394,23 @@ const (
 // backend callback (the network stack); the transmit path delivers to an
 // external peer callback (the SPECWeb trace player's client side).
 type NIC struct {
-	sim  *core.Sim
-	cfg  NICConfig
+	sim  *core.Sim //ckpt:skip backend wiring, re-created by NewNIC
+	cfg  NICConfig //ckpt:skip rebuilt by NewNIC from the machine's Config
 	wire *event.Resource
 	irq  irqRouter
-	inj  *fault.NetInjector
-	ring mem.VirtAddr
+	inj  *fault.NetInjector //ckpt:skip machine.Restore restores the injector's own snapshot
+	ring mem.VirtAddr       //ckpt:skip fixed kernel-layout address assigned at construction
 
 	// OnReceive is invoked in backend context when a packet arrives from
 	// the wire (after the RX interrupt).
-	OnReceive func(pkt Packet, at event.Cycle)
+	OnReceive func(pkt Packet, at event.Cycle) //ckpt:skip callback wiring, re-attached by the stack after restore
 	// OnTransmit is invoked in backend context when a locally sent packet
 	// reaches the wire's far end (the external client).
-	OnTransmit func(pkt Packet, at event.Cycle)
+	OnTransmit func(pkt Packet, at event.Cycle) //ckpt:skip callback wiring, re-attached by the trace player after restore
 
 	// touchBuf is the reusable kernel-touch scratch for interrupt raises
 	// (consumed synchronously or copied on the masked-CPU deferral path).
-	touchBuf []core.KernelTouch
+	touchBuf []core.KernelTouch //ckpt:skip reusable scratch, dead between interrupt raises
 
 	RxPackets, TxPackets uint64
 	RxBytes, TxBytes     uint64

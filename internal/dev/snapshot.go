@@ -66,6 +66,7 @@ func (d *Disk) Snapshot() (DiskSnap, error) {
 		Head: d.head, SweepUp: d.sweepUp, Seq: d.seq, IRQNext: d.irq.next,
 		Reads: d.Reads, Writes: d.Writes, BusyCycles: d.BusyCycles, SeekSum: d.SeekSum,
 	}
+	//det:ordered s.Blocks is sorted by Block below
 	for block, data := range d.data {
 		s.Blocks = append(s.Blocks, BlockSnap{Block: block, Data: append([]byte(nil), data...)})
 	}

@@ -79,13 +79,13 @@ type cpuCaches struct {
 
 // System is the CC-NUMA memory system. It implements memsys.Model.
 type System struct {
-	cfg    Config
+	cfg    Config //ckpt:skip rebuilt by New from the machine's Config
 	cpus   []cpuCaches
 	busses []*event.Resource
 	memctl []*event.Resource
 	net    *noc.Network
 	dirs   []map[mem.PhysAddr]*dirEntry
-	home   HomeFunc
+	home   HomeFunc //ckpt:skip placement policy function, re-created by New
 
 	loads, stores         uint64
 	l1Hits, l2Hits        uint64
@@ -96,7 +96,7 @@ type System struct {
 	migrations            uint64
 
 	// migration bookkeeping: consecutive remote-miss streaks per frame.
-	migrate func(frame uint64, node int)
+	migrate func(frame uint64, node int) //ckpt:skip migration hook, re-created by New
 	heat    map[uint64]*frameHeat
 }
 

@@ -73,12 +73,14 @@ func (s *System) Snapshot() Snapshot {
 	}
 	for _, d := range s.dirs {
 		var es []DirEntrySnap
+		//det:ordered es is sorted by Addr below
 		for addr, e := range d {
 			es = append(es, DirEntrySnap{Addr: uint64(addr), State: uint8(e.state), Owner: e.owner, Sharers: e.sharers})
 		}
 		sort.Slice(es, func(i, j int) bool { return es[i].Addr < es[j].Addr })
 		sn.Dirs = append(sn.Dirs, es)
 	}
+	//det:ordered sn.Heat is sorted by Frame below
 	for frame, h := range s.heat {
 		sn.Heat = append(sn.Heat, HeatSnap{Frame: frame, Node: h.node, Streak: h.streak})
 	}

@@ -131,9 +131,9 @@ type Queue struct {
 
 	// keepAlive counts pending tasks scheduled via AtKeep (the backend's
 	// non-daemon tasks, which keep the simulation running).
-	keepAlive int
+	keepAlive int //ckpt:skip checkpoints are quiescent (KeepAlive == 0); restore re-arms daemons with At
 
-	free []*Task
+	free []*Task //ckpt:skip task free list, host-side recycling scratch
 }
 
 // NewQueue returns an empty scheduler starting at cycle 0.

@@ -7,7 +7,7 @@ package event
 // next-free time. This is the standard "busy-until" contention
 // approximation for execution-driven simulators.
 type Resource struct {
-	name     string
+	name     string //ckpt:skip diagnostic label given at construction
 	nextFree Cycle
 
 	// Busy accumulates total occupied cycles (utilization statistics).

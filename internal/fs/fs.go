@@ -69,9 +69,9 @@ type buffer struct {
 // FS is the filesystem instance.
 type FS struct {
 	k    *kernel.Kernel
-	disk *dev.Disk
-	cfg  Config
-	lock *simsync.SpinLock
+	disk *dev.Disk         //ckpt:skip backend wiring, re-created by New
+	cfg  Config            //ckpt:skip rebuilt by New from the machine's Config
+	lock *simsync.SpinLock //ckpt:skip lock word lives in simulated memory, restored with the kernel space
 
 	files     map[string]*Inode
 	inodes    []*Inode
@@ -84,7 +84,7 @@ type FS struct {
 	// rec, when non-nil, enables media-error recovery: bounded retry with
 	// exponential backoff plus bad-block remapping through remap
 	// (logical → spare physical block; the cache stays keyed by logical).
-	rec   *fault.DiskConfig
+	rec   *fault.DiskConfig //ckpt:skip recovery config wiring, re-installed from the machine's Config
 	remap map[int]int
 
 	Hits, Misses    uint64
@@ -92,7 +92,7 @@ type FS struct {
 	Prefetches      uint64
 	// Graceful-degradation counters (recovery enabled only).
 	Retries, Remaps, Unrecoverable uint64
-	inodeTableKVA                  mem.VirtAddr
+	inodeTableKVA                  mem.VirtAddr //ckpt:skip fixed kernel-layout address assigned at construction
 }
 
 // New builds a filesystem over disk (setup context).
@@ -292,6 +292,7 @@ func (f *FS) repairIfFailed(p *frontend.Proc, buf *buffer) bool {
 // (caller holds the fs lock), or nil when every buffer is mid-I/O.
 func (f *FS) pickVictim() *buffer {
 	var victim *buffer
+	//det:ordered min-compare with (lruSeq, block) total-order tie-break
 	for _, b := range f.cache {
 		if b.kernelBusy {
 			continue
@@ -749,6 +750,7 @@ func (f *FS) SyncAll(p *frontend.Proc) {
 	for {
 		f.lock.Lock(p)
 		var target *buffer
+		//det:ordered min-compare keyed by block, a total order
 		for _, buf := range f.cache {
 			if buf.dirty && !buf.kernelBusy && (target == nil || buf.block < target.block) {
 				target = buf

@@ -83,6 +83,7 @@ func (f *FS) Snapshot() (Snapshot, error) {
 	for _, kva := range f.freeKVAs {
 		s.FreeKVAs = append(s.FreeKVAs, uint32(kva))
 	}
+	//det:ordered s.Buffers is sorted by Block below
 	for block, buf := range f.cache {
 		if buf.loading || buf.kernelBusy {
 			return Snapshot{}, fmt.Errorf("fs: buffer for block %d has I/O in flight", block)

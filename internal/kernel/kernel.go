@@ -32,16 +32,16 @@ func DefaultConfig() Config {
 
 // Kernel is the shared kernel context.
 type Kernel struct {
-	Sim *core.Sim
-	cfg Config
+	Sim *core.Sim //ckpt:skip backend wiring, re-created by New
+	cfg Config    //ckpt:skip rebuilt by New from the machine's Config
 
 	// kmem is a bump allocator over the kernel address space. It is
 	// guarded by kmemLock (a simulated spinlock), so allocation order is
 	// deterministic.
-	kmemBase mem.VirtAddr
+	kmemBase mem.VirtAddr //ckpt:skip fixed kernel-layout address assigned at construction
 	kmemOff  uint32
 	kmemCap  uint32
-	kmemLock simsync.SpinLock
+	kmemLock simsync.SpinLock //ckpt:skip lock word lives in simulated memory, restored with the kernel space
 
 	Syscalls uint64
 }

@@ -88,11 +88,11 @@ type Physical struct {
 	nextFrame   uint64
 	freeList    []uint64
 	frames      map[uint64]*frame
-	nodes       int
-	policy      Placement
-	placeCursor uint64 // round-robin / block cursor
-	blockRun    uint64 // frames placed on current node in block mode
-	blockSize   uint64
+	nodes       int       //ckpt:skip geometry from config; Restore requires identical geometry
+	policy      Placement //ckpt:skip placement policy from config
+	placeCursor uint64    // round-robin / block cursor
+	blockRun    uint64    // frames placed on current node in block mode
+	blockSize   uint64    //ckpt:skip geometry from config
 	allocated   uint64
 }
 

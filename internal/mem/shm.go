@@ -23,7 +23,7 @@ func (g *Segment) Refs() int { return g.refs }
 // ShmRegistry is the backend's table of shared memory descriptors, keyed
 // by the shmget key. It is owned by the backend VM manager.
 type ShmRegistry struct {
-	phys   *Physical
+	phys   *Physical //ckpt:skip subsystem wiring; Physical.Restore runs first
 	byKey  map[int]*Segment
 	byID   map[int]*Segment
 	nextID int

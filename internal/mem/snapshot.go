@@ -34,6 +34,7 @@ func (p *Physical) Snapshot() PhysSnapshot {
 		BlockRun:    p.blockRun,
 		Allocated:   p.allocated,
 	}
+	//det:ordered s.Frames is sorted by PFN below
 	for pfn, fr := range p.frames {
 		fs := FrameSnap{PFN: pfn, Home: fr.home}
 		if fr.data != nil {
@@ -86,6 +87,7 @@ type SpaceSnapshot struct {
 // Snapshot captures the space's break, mmap cursor, and page table.
 func (s *Space) Snapshot() SpaceSnapshot {
 	sn := SpaceSnapshot{Brk: uint32(s.brk), MmapPtr: uint32(s.mmapPtr)}
+	//det:ordered sn.PTEs is sorted by VPN below
 	for vpn, pte := range s.pt {
 		sn.PTEs = append(sn.PTEs, PTESnap{VPN: vpn, PTE: *pte})
 	}
@@ -125,6 +127,7 @@ type ShmSnapshot struct {
 // Snapshot captures every segment descriptor.
 func (r *ShmRegistry) Snapshot() ShmSnapshot {
 	sn := ShmSnapshot{NextID: r.nextID}
+	//det:ordered sn.Segments is sorted by ID below
 	for _, seg := range r.byID {
 		sn.Segments = append(sn.Segments, SegmentSnap{
 			ID: seg.ID, Key: seg.Key, Size: seg.Size,

@@ -77,7 +77,7 @@ const (
 
 // Space is one simulated process's virtual address space and page table.
 type Space struct {
-	phys    *Physical
+	phys    *Physical //ckpt:skip subsystem wiring; Physical.Restore runs first
 	pt      map[uint32]*PTE
 	brk     VirtAddr
 	mmapPtr VirtAddr

@@ -67,9 +67,9 @@ type Listener struct {
 
 // Stack is the network stack instance.
 type Stack struct {
-	k   *kernel.Kernel
-	nic *dev.NIC
-	cfg Config
+	k   *kernel.Kernel //ckpt:skip backend wiring, re-created by New
+	nic *dev.NIC       //ckpt:skip backend wiring, re-created by New
+	cfg Config         //ckpt:skip rebuilt by New from the machine's Config
 
 	// Backend-owned tables.
 	listeners map[int]*Listener
@@ -77,10 +77,10 @@ type Stack struct {
 
 	// activity is the stack-wide sleep queue: any packet arrival wakes all
 	// sleepers, which recheck their condition (accept/recv/select).
-	activity *kernel.WaitQueue
+	activity *kernel.WaitQueue //ckpt:skip wait queue; quiescence means no sleepers to carry over
 
-	mbufKVA  mem.VirtAddr
-	mbufLock *simsync.SpinLock
+	mbufKVA  mem.VirtAddr      //ckpt:skip fixed kernel-layout address assigned at construction
+	mbufLock *simsync.SpinLock //ckpt:skip lock word lives in simulated memory, restored with the kernel space
 	mbufSeq  uint64
 	nextLoop int // loopback connection id allocator (negative ids)
 

@@ -50,6 +50,7 @@ func (s *Stack) Snapshot() (Snapshot, error) {
 		sn.ARQAcksSent = s.arq.AcksSent
 		sn.ARQFailures = s.arq.Failures
 	}
+	//det:ordered sn.Listeners is sorted by Port below
 	for port, l := range s.listeners {
 		if len(l.acceptQ) != 0 {
 			return Snapshot{}, fmt.Errorf("netstack: listener %d has %d queued connections", port, len(l.acceptQ))

@@ -28,8 +28,8 @@ func DefaultConfig(nodes int) Config {
 // approximated at the endpoints, which captures hot-spot behaviour without
 // per-hop queue simulation.
 type Network struct {
-	cfg    Config
-	width  int
+	cfg    Config //ckpt:skip rebuilt by New from the machine's Config
+	width  int    //ckpt:skip geometry derived from cfg
 	inject []*event.Resource
 	eject  []*event.Resource
 

@@ -25,12 +25,12 @@ import (
 // Server is the OS server instance.
 type Server struct {
 	K            *kernel.Kernel
-	FS           *fs.FS
-	Net          *netstack.Stack
-	Disk         *dev.Disk
-	NIC          *dev.NIC
-	RTC          *dev.RTC
-	CyclesPerSec uint64
+	FS           *fs.FS          //ckpt:skip subsystem wiring; machine.Restore restores each subsystem
+	Net          *netstack.Stack //ckpt:skip subsystem wiring; machine.Restore restores each subsystem
+	Disk         *dev.Disk       //ckpt:skip subsystem wiring; machine.Restore restores each subsystem
+	NIC          *dev.NIC        //ckpt:skip subsystem wiring; machine.Restore restores each subsystem
+	RTC          *dev.RTC        //ckpt:skip subsystem wiring; machine.Restore restores each subsystem
+	CyclesPerSec uint64          //ckpt:skip configuration constant set at wiring time
 
 	paired     int
 	peakPaired int
@@ -163,6 +163,7 @@ func (s *Server) FormatSyscallProfile(top int) string {
 	}
 	var rows []row
 	var total uint64
+	//det:ordered rows are sorted by (cycles, name) below
 	for k, v := range cycles {
 		rows = append(rows, row{k, v})
 		total += v

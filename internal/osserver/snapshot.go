@@ -37,6 +37,7 @@ type Snapshot struct {
 // returns an error when a semaphore still has sleepers (not quiescent).
 func (s *Server) Snapshot() (Snapshot, error) {
 	sn := Snapshot{Paired: s.paired, PeakPaired: s.peakPaired}
+	//det:ordered sn.Sems is sorted by Key below
 	for key, sem := range s.sems {
 		if sem.QueueWaiters() != 0 {
 			return Snapshot{}, fmt.Errorf("osserver: semaphore %d has %d sleepers", key, sem.QueueWaiters())
@@ -45,6 +46,7 @@ func (s *Server) Snapshot() (Snapshot, error) {
 	}
 	sort.Slice(sn.Sems, func(i, j int) bool { return sn.Sems[i].Key < sn.Sems[j].Key })
 	cycles, calls := s.SyscallProfile()
+	//det:ordered sn.Profile is sorted by Name below
 	for name, c := range cycles {
 		sn.Profile = append(sn.Profile, SyscallSnap{Name: name, Cycles: c, Calls: calls[name]})
 	}

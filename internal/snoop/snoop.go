@@ -69,7 +69,7 @@ type cpuCaches struct {
 
 // System is the snooping SMP memory system.
 type System struct {
-	cfg  Config
+	cfg  Config //ckpt:skip rebuilt by New from the machine's Config
 	cpus []cpuCaches
 	bus  *event.Resource
 

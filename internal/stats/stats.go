@@ -131,6 +131,7 @@ func (c *Counters) Get(name string) uint64 { return c.m[name] }
 // Names returns the counter names in sorted order.
 func (c *Counters) Names() []string {
 	names := make([]string, 0, len(c.m))
+	//det:ordered names are sorted before return
 	for k := range c.m {
 		names = append(names, k)
 	}
