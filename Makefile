@@ -25,6 +25,7 @@ race:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParseSpec -fuzztime 10s ./internal/fault
 	$(GO) test -fuzz FuzzReadInfo -fuzztime 10s ./internal/checkpoint
+	$(GO) test -fuzz FuzzParseSpec -fuzztime 10s ./internal/loadgen
 
 # Serial-vs-parallel sweep benchmark; emits the machine-readable record
 # the CI uploads as an artifact.

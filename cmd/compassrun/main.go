@@ -7,6 +7,13 @@
 //	compassrun -workload specweb -cpus 4 -requests 200
 //	compassrun -workload tpcd -arch ccnuma -nodes 4 -placement first-touch
 //
+// Open-loop load generation (internal/loadgen) replaces the closed-loop
+// trace player on the web workloads and prints a per-class tail-latency
+// table alongside the time profile:
+//
+//	compassrun -workload specweb -load "requests=400;class=web,clients=1000000,interval=1e9"
+//	compassrun -workload tier3 -load "class=dyn,rate=40,flash=2e6:4e6:8"
+//
 // Parallel experiment modes (the internal/expt engine):
 //
 //	compassrun -workload tpcc -faults "seed=7,disk.transient=0.01" -seeds 8 -parallel 4 -progress
@@ -26,7 +33,7 @@ import (
 
 func main() {
 	var (
-		workload   = flag.String("workload", "tpcd", "tpcc | tpcd | specweb | sor")
+		workload   = flag.String("workload", "tpcd", "tpcc | tpcd | specweb | tier3 | sor")
 		cpus       = flag.Int("cpus", 4, "simulated CPUs")
 		arch       = flag.String("arch", "simple", "fixed | simple | smp | ccnuma | coma")
 		nodes      = flag.Int("nodes", 1, "NUMA nodes (ccnuma/coma)")
@@ -42,6 +49,7 @@ func main() {
 		syncd      = flag.Uint64("syncd", 0, "buffer-cache flush daemon interval in cycles (0 = off)")
 		migrate    = flag.Int("migrate", 0, "ccnuma page-migration threshold (0 = off)")
 		faults     = flag.String("faults", "", `fault plan, e.g. "seed=7,disk.transient=0.01,net.drop=0.02,mem.ecc=1e-6"`)
+		load       = flag.String("load", "", `open-loop traffic plan (specweb/tier3), e.g. "requests=400;class=web,clients=1000000,interval=1e9,flash=2e6:4e6:8"`)
 		parallel   = flag.Int("parallel", 1, "experiment-engine workers (0 = host cores)")
 		seeds      = flag.Int("seeds", 0, "fault-seed campaign: run this many consecutive seeds from the -faults base seed")
 		progress   = flag.Bool("progress", false, "print an engine progress line to stderr")
@@ -159,6 +167,22 @@ func main() {
 		return
 	}
 
+	var lc compass.LoadConfig
+	if *load != "" {
+		var err error
+		if lc, err = compass.ParseLoadSpec(*load); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -load spec: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	mustLoad := func(res compass.Result, err error) compass.Result {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load run: %v\n", err)
+			os.Exit(1)
+		}
+		return res
+	}
+
 	var runner func(compass.Config) compass.Result
 	switch *workload {
 	case "tpcc":
@@ -172,9 +196,20 @@ func main() {
 		w.Rows = *rows
 		runner = func(c compass.Config) compass.Result { return compass.RunTPCD(c, w) }
 	case "specweb":
+		if *load != "" {
+			runner = func(c compass.Config) compass.Result { return mustLoad(compass.RunLoadHTTPD(c, lc, *agents)) }
+			break
+		}
 		w := compass.DefaultSPECWeb()
 		w.Requests = *requests
 		runner = func(c compass.Config) compass.Result { return compass.RunSPECWeb(c, w, *agents, *agents*2) }
+	case "tier3":
+		w := compass.DefaultTier3()
+		if *load != "" {
+			runner = func(c compass.Config) compass.Result { return mustLoad(compass.RunLoadTier3(c, w, lc)) }
+			break
+		}
+		runner = func(c compass.Config) compass.Result { return compass.RunTier3(c, w, *requests) }
 	case "sor":
 		runner = func(c compass.Config) compass.Result {
 			return compass.RunSOR(c, compass.SORConfig{N: 64, Iters: 6, Procs: *agents})
@@ -208,6 +243,10 @@ func main() {
 	sort.Strings(keys)
 	for _, k := range keys {
 		fmt.Printf("  %-18s %.1f\n", k, res.Extra[k])
+	}
+	if res.LoadTable != "" {
+		fmt.Println()
+		fmt.Print(res.LoadTable)
 	}
 	if ft := res.FaultTable(); ft != "" {
 		fmt.Println()

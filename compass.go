@@ -121,6 +121,10 @@ type Result struct {
 	// Syscalls is the per-kernel-call cycle breakdown (the paper's
 	// "handful of OS calls" analysis), rendered as a table.
 	Syscalls string
+	// LoadTable is the per-class offered/completed and p50/p90/p99/p999
+	// tail-latency table; empty unless the run used the open-loop
+	// generator.
+	LoadTable string
 }
 
 // String renders a one-line summary.

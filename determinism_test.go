@@ -9,15 +9,16 @@ import (
 
 // resultTable reduces a Result to its full deterministic byte surface:
 // the Table-1 profile row, final cycle, every backend counter, the fault
-// table, the syscall profile and the workload extras. Host wall time is
-// the only field excluded. Two runs are "bit-identical" iff these bytes
-// match.
+// table, the syscall profile, the open-loop latency table and the
+// workload extras. Host wall time is the only field excluded. Two runs
+// are "bit-identical" iff these bytes match.
 func resultTable(r Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\ncycles=%d\n", r.Profile.String(), r.Cycles)
 	b.WriteString(r.Counters.String())
 	b.WriteString(r.FaultTable())
 	b.WriteString(r.Syscalls)
+	b.WriteString(r.LoadTable)
 	keys := make([]string, 0, len(r.Extra))
 	for k := range r.Extra {
 		keys = append(keys, k)
@@ -83,6 +84,38 @@ func TestDeterminismBatchSweepSerialSerialParallel(t *testing.T) {
 	}
 	if first != parallel {
 		t.Fatalf("serial and parallel sweeps differ:\n--- serial ---\n%s\n--- parallel ---\n%s", first, parallel)
+	}
+}
+
+// The open-loop generator under its hardest mix — a flash-crowd surge
+// on top of a fault plan with client-side ARQ — run twice serially
+// produces byte-identical result tables including the full
+// p50/p90/p99/p999 latency table. This pins the loadgen subsystem into
+// the determinism contract so future perf PRs can't silently break it.
+func TestDeterminismLoadgenFlashFault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPUs = 2
+	cfg.Faults = faultPlan()
+	lc, err := ParseLoadSpec("seed=13,requests=120;" +
+		"class=web,clients=150000,interval=2e9,burst=2,objects=12,flash=250000:800000:6;" +
+		"class=api,rate=30,objects=8,mmpp=1e6:300000:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() string {
+		res, err := RunLoadHTTPD(cfg, lc, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LoadTable == "" {
+			t.Fatal("no latency table in the compared surface")
+		}
+		return resultTable(res)
+	}
+	first := run()
+	second := run()
+	if first != second {
+		t.Fatalf("two serial loadgen runs differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
 	}
 }
 

@@ -143,7 +143,7 @@ var simPackages = map[string]bool{
 	"core": true, "event": true, "cache": true, "snoop": true,
 	"noc": true, "directory": true, "coma": true, "mem": true,
 	"memsys": true, "kernel": true, "fs": true, "dev": true,
-	"netstack": true, "osserver": true, "fault": true,
+	"netstack": true, "osserver": true, "fault": true, "loadgen": true,
 }
 
 // internalLeaf returns the part of an import path after the last

@@ -26,5 +26,5 @@ func TestSnapfields(t *testing.T) {
 }
 
 func TestEvtclosure(t *testing.T) {
-	analysistest.Run(t, analysis.Evtclosure, "internal/dev", "internal/fs")
+	analysistest.Run(t, analysis.Evtclosure, "internal/dev", "internal/fs", "internal/loadgen")
 }

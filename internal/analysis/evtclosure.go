@@ -18,7 +18,7 @@ import (
 // values, reusable scratch state). Loop captures are flagged in every
 // simulation package; the stricter "no capturing literal at all" rule
 // applies only to the hot set (core, event, cache, mem, snoop, noc,
-// directory, coma, dev).
+// directory, coma, dev, loadgen).
 var Evtclosure = &Analyzer{
 	Name: "evtclosure",
 	Doc: "forbid event-scheduling closures that capture loop variables (all sim packages) " +
@@ -32,6 +32,7 @@ var Evtclosure = &Analyzer{
 var hotAllocPackages = map[string]bool{
 	"core": true, "event": true, "cache": true, "mem": true,
 	"snoop": true, "noc": true, "directory": true, "coma": true, "dev": true,
+	"loadgen": true,
 }
 
 // schedMethods are the event.Queue scheduling entry points.

@@ -1,0 +1,68 @@
+package loadgen
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec drives the -load spec parser with adversarial input,
+// mirroring the fault.ParseSpec harness. Invariants: the parser never
+// panics; on error it returns a zero Config; on success every float is
+// a finite non-negative real (a NaN rate would wedge the thinning
+// accept test), parsing is deterministic, and the canonical rendering
+// round-trips to the identical concrete plan.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("class=web,clients=1000000")
+	f.Add("seed=42,requests=400;class=static,clients=1000000,interval=1e9,burst=2,flash=2e6:4e6:8")
+	f.Add("class=dyn,rate=0.5,mmpp=1e6:250000:4,zipf=1.1,objects=64")
+	f.Add("class=a,clients=1,think.min=5000,think.max=200000,think.alpha=1.5,size.min=256,size.max=65536,size.alpha=1.2")
+	f.Add("class=a,rate=NaN")
+	f.Add("class=a,rate=+Inf")
+	f.Add("class=a,clients=-1")
+	f.Add("class=a,clients=1,flash=5:10")
+	f.Add("class=a,clients=1;class=a,rate=1")
+	f.Add("seed=0x10, requests = 5 ;class=a,clients=2,,")
+	f.Add("clients=5")
+	f.Add("=1")
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := ParseSpec(spec)
+		if err != nil {
+			if !reflect.DeepEqual(c, Config{}) {
+				t.Fatalf("error %v returned non-zero config %+v", err, c)
+			}
+			if !strings.Contains(err.Error(), "loadgen:") && !strings.Contains(err.Error(), "invalid") {
+				t.Fatalf("unbranded error: %v", err)
+			}
+			return
+		}
+		if len(c.Classes) == 0 || c.Requests == 0 {
+			t.Fatalf("accepted plan is not concrete: %+v", c)
+		}
+		for _, cl := range c.Classes {
+			for _, v := range []float64{cl.Interval, cl.Rate, cl.ThinkAlpha, cl.SizeAlpha, cl.Zipf} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("class %q parsed invalid float %v from %q", cl.Name, v, spec)
+				}
+			}
+			if cl.sessionsPerCycle() <= 0 {
+				t.Fatalf("class %q has no arrival rate from %q", cl.Name, spec)
+			}
+		}
+		// Determinism: re-parsing the same spec yields the same plan.
+		c2, err2 := ParseSpec(spec)
+		if err2 != nil || !reflect.DeepEqual(c, c2) {
+			t.Fatalf("re-parse of %q diverged: %+v/%v vs %+v", spec, c2, err2, c)
+		}
+		// Canonical round trip: String() re-parses to the identical plan.
+		c3, err3 := ParseSpec(c.String())
+		if err3 != nil {
+			t.Fatalf("canonical %q rejected: %v", c.String(), err3)
+		}
+		if !reflect.DeepEqual(c, c3) {
+			t.Fatalf("canonical round trip diverged:\n%+v\nvs\n%+v\nvia %q", c, c3, c.String())
+		}
+	})
+}

@@ -1,0 +1,409 @@
+// Package loadgen is the open-loop traffic generator: the workload
+// frontend COMPASS §4.2 deliberately left out. The paper replays a
+// captured trace because a live closed-loop generator "will simply time
+// out and drop connections to the server"; the trace player reproduces
+// that design, but it cannot model production-scale populations whose
+// arrival rate does not slow down when the server does. This package
+// models millions of simulated clients in O(traffic-classes) memory:
+// each class is an aggregate arrival process (Poisson, thinned through
+// flash-crowd windows and a periodic MMPP modulation) with heavy-tailed
+// think times and Zipf object popularity, and only the in-flight
+// requests own connection records — pooled and recycled through the
+// event engine's zero-alloc dispatch path.
+//
+// The generator drives the simulated NIC through the same trace.Wire the
+// closed-loop player uses (including link-level ARQ under fault plans),
+// so the two client models are protocol-identical. It is deterministic
+// (seeded counter-based streams, never wall clock) and checkpoint-safe
+// (snapshot.go captures every draw counter and tally).
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+
+	"compass/internal/core"
+	"compass/internal/dev"
+	"compass/internal/event"
+	"compass/internal/fault"
+	"compass/internal/stats"
+	"compass/internal/trace"
+)
+
+// Generator is the open-loop client population. Construct with New,
+// optionally EnableARQ, then Start before Sim.Run; the simulation
+// drains once the request budget is offered, every in-flight request
+// resolves, and the server workers have been shut down.
+type Generator struct {
+	//ckpt:skip the plan; a resumed generator is reconstructed from the same spec
+	cfg Config
+	//ckpt:skip wired at construction
+	sim  *core.Sim
+	wire *trace.Wire
+
+	//ckpt:skip quit fan-out width, fixed at construction from the server config
+	workers int
+
+	classes []*class
+
+	// inflight maps connection id to its live request record. Empty at
+	// every quiescent point, so it never enters a snapshot.
+	inflight map[int]*flightRec
+	//ckpt:skip connection-record free pool; empty-equivalent at quiescence
+	free []*flightRec
+
+	//ckpt:skip live tick bookkeeping; zero at quiescence by construction
+	liveTicks int
+	//ckpt:skip drain latch; the quit hand-shake replays from scratch each phase
+	quitsSent bool
+
+	//ckpt:skip host-side pool diagnostics (memory-proportionality assertions)
+	allocs int
+	//ckpt:skip host-side pool diagnostics (memory-proportionality assertions)
+	live int
+	//ckpt:skip host-side pool diagnostics (memory-proportionality assertions)
+	maxLive int
+}
+
+// class is one traffic class's aggregate state: O(1) in the client
+// population.
+type class struct {
+	g       *Generator
+	idx     int
+	cfg     ClassConfig
+	catalog Catalog
+	zipf    zipfTable
+
+	// lambdaMax is the thinning envelope rate: base rate times the
+	// largest multiplier any window combination can reach.
+	lambdaMax float64
+	maxMult   float64
+
+	arrival stream // inter-arrival gaps and thinning accepts
+	object  stream // catalog picks
+	think   stream // intra-session think gaps
+
+	offered, completed, failed, badBytes uint64
+	lat                                  stats.Histogram
+
+	// tickFn is the prebound arrival tick, allocated once so the
+	// scheduler call sites stay closure-free (evtclosure hot rule).
+	tickFn func()
+}
+
+// flightRec is one in-flight request. Records are pooled: the live
+// count tracks in-flight requests, never the client population.
+type flightRec struct {
+	class   int
+	conn    int
+	left    int // requests remaining in the session, current included
+	obj     int
+	start   event.Cycle
+	body    int
+	sawData bool
+	quit    bool
+}
+
+// New attaches a generator to the NIC (setup context; call Start to
+// begin offering). One catalog per class; workers is how many server
+// workers to shut down with /quit once the budget drains; port is the
+// server port.
+func New(sim *core.Sim, nic *dev.NIC, cfg Config, catalogs []Catalog, workers, port int) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(catalogs) != len(cfg.Classes) {
+		return nil, fmt.Errorf("loadgen: %d catalogs for %d classes", len(catalogs), len(cfg.Classes))
+	}
+	g := &Generator{
+		cfg: cfg, sim: sim, workers: workers,
+		wire:     trace.NewWire(sim, nic, port),
+		inflight: make(map[int]*flightRec),
+	}
+	g.wire.OnPacket = g.onPacket
+	g.wire.OnFail = g.onFail
+	for i, cc := range cfg.Classes {
+		if len(catalogs[i]) == 0 {
+			return nil, fmt.Errorf("loadgen: class %q has an empty catalog", cc.Name)
+		}
+		cl := &class{
+			g: g, idx: i, cfg: cc, catalog: catalogs[i],
+			zipf:    newZipfTable(len(catalogs[i]), cc.Zipf),
+			arrival: newStream(cfg.Seed, siteArrival, i),
+			object:  newStream(cfg.Seed, siteObject, i),
+			think:   newStream(cfg.Seed, siteThink, i),
+		}
+		cl.maxMult = 1
+		for _, w := range cc.Flash {
+			if w.Mult > 1 {
+				cl.maxMult *= w.Mult
+			}
+		}
+		if m := cc.MMPP; m.Period > 0 && m.Mult > 1 {
+			cl.maxMult *= m.Mult
+		}
+		cl.lambdaMax = cc.sessionsPerCycle() * cl.maxMult
+		cl.tickFn = cl.tick
+		g.classes = append(g.classes, cl)
+	}
+	return g, nil
+}
+
+// EnableARQ gives the population the link-level reliability the host
+// stack runs under fault injection (setup context, before Start).
+func (g *Generator) EnableARQ(cfg fault.NetConfig) { g.wire.EnableARQ(cfg) }
+
+// Wire exposes the client side of the NIC (checkpoint glue).
+func (g *Generator) Wire() *trace.Wire { return g.wire }
+
+// Allocs reports how many connection records were ever allocated — the
+// pool high-water mark, proportional to in-flight requests, never to
+// the client population.
+func (g *Generator) Allocs() int { return g.allocs }
+
+// MaxLive reports the peak simultaneous in-flight requests.
+func (g *Generator) MaxLive() int { return g.maxLive }
+
+// Offered/Completed/Failed aggregate the per-class tallies.
+func (g *Generator) Offered() uint64 {
+	var n uint64
+	for _, cl := range g.classes {
+		n += cl.offered
+	}
+	return n
+}
+
+// Completed counts requests whose response fully arrived.
+func (g *Generator) Completed() uint64 {
+	var n uint64
+	for _, cl := range g.classes {
+		n += cl.completed
+	}
+	return n
+}
+
+// Failed counts requests abandoned by the ARQ or orphaned when a
+// session's connection died.
+func (g *Generator) Failed() uint64 {
+	var n uint64
+	for _, cl := range g.classes {
+		n += cl.failed
+	}
+	return n
+}
+
+// BadBytes counts responses whose body length disagreed with the
+// catalog.
+func (g *Generator) BadBytes() uint64 {
+	var n uint64
+	for _, cl := range g.classes {
+		n += cl.badBytes
+	}
+	return n
+}
+
+// Rows renders the per-class offered/completed/latency table rows.
+func (g *Generator) Rows() []stats.LoadRow {
+	rows := make([]stats.LoadRow, len(g.classes))
+	for i, cl := range g.classes {
+		rows[i] = stats.LoadRow{
+			Class: cl.cfg.Name, Offered: cl.offered,
+			Completed: cl.completed, Failed: cl.failed,
+			Latency: &cl.lat,
+		}
+	}
+	return rows
+}
+
+// Start schedules the first arrival tick of every class. Call before
+// Sim.Run (it schedules backend tasks).
+func (g *Generator) Start() {
+	if g.Offered() >= g.cfg.Requests {
+		// Restored generator with an exhausted budget: straight to drain.
+		g.maybeQuit()
+		return
+	}
+	g.liveTicks = len(g.classes)
+	for _, cl := range g.classes {
+		cl.schedule()
+	}
+}
+
+// schedule books the class's next candidate arrival.
+func (cl *class) schedule() {
+	gap := cl.arrival.expCycles(cl.lambdaMax)
+	cl.g.sim.ScheduleTask(event.Cycle(gap), "loadgen-arrival", false, cl.tickFn)
+}
+
+// tick is one candidate arrival (backend context): thin it against the
+// current rate multiplier, launch a session if it survives, and book
+// the next candidate while budget remains.
+func (cl *class) tick() {
+	g := cl.g
+	if g.Offered() >= g.cfg.Requests {
+		g.liveTicks--
+		g.maybeQuit()
+		return
+	}
+	now := uint64(g.sim.CurTime())
+	if cl.arrival.u01()*cl.maxMult < cl.multiplier(now) {
+		cl.launchSession()
+	}
+	if g.Offered() >= g.cfg.Requests {
+		g.liveTicks--
+		g.maybeQuit()
+		return
+	}
+	cl.schedule()
+}
+
+// multiplier is the rate multiplier at an absolute cycle: the product
+// of every active flash window and the MMPP on-phase. Absolute cycles
+// keep the surge identical across a checkpoint resume.
+func (cl *class) multiplier(now uint64) float64 {
+	m := 1.0
+	for _, w := range cl.cfg.Flash {
+		if now >= w.Start && now-w.Start < w.Dur {
+			m *= w.Mult
+		}
+	}
+	if p := cl.cfg.MMPP; p.Period > 0 && now%p.Period < p.On {
+		m *= p.Mult
+	}
+	return m
+}
+
+// launchSession opens the first request of a new session; the remaining
+// burst requests follow completions with think gaps.
+func (cl *class) launchSession() {
+	g := cl.g
+	n := uint64(cl.cfg.Burst)
+	if left := g.cfg.Requests - g.Offered(); n > left {
+		n = left
+	}
+	if n == 0 {
+		return
+	}
+	cl.offered += n
+	rec := g.alloc()
+	rec.class = cl.idx
+	rec.left = int(n)
+	cl.launch(rec, 1)
+}
+
+// launch opens a connection for the record's next request after delay.
+func (cl *class) launch(rec *flightRec, delay event.Cycle) {
+	g := cl.g
+	rec.conn = g.wire.NewConn()
+	rec.obj = cl.zipf.draw(&cl.object)
+	rec.start = g.sim.CurTime() + delay
+	rec.body = 0
+	rec.sawData = false
+	g.inflight[rec.conn] = rec
+	g.wire.Open(rec.conn, delay)
+	g.wire.Get(rec.conn, cl.catalog[rec.obj].Path, delay+2000)
+}
+
+// onPacket handles server→client traffic (backend context).
+func (g *Generator) onPacket(pkt dev.Packet, at event.Cycle) {
+	rec, ok := g.inflight[pkt.Conn]
+	if !ok {
+		return
+	}
+	if pkt.Flags&dev.FlagFIN == 0 {
+		payload := pkt.Payload
+		if !rec.sawData {
+			// First data packet carries the HTTP header; body bytes start
+			// after it.
+			i := strings.Index(string(payload), "\r\n\r\n")
+			if i < 0 {
+				return
+			}
+			payload = payload[i+4:]
+			rec.sawData = true
+		}
+		rec.body += len(payload)
+		return
+	}
+	delete(g.inflight, pkt.Conn)
+	if rec.quit {
+		g.recycle(rec)
+		return
+	}
+	cl := g.classes[rec.class]
+	cl.completed++
+	cl.lat.Observe(uint64(at - rec.start))
+	if rec.body != cl.catalog[rec.obj].Size {
+		cl.badBytes++
+	}
+	rec.left--
+	if rec.left > 0 {
+		gap := cl.think.boundedPareto(float64(cl.cfg.ThinkMin), float64(cl.cfg.ThinkMax), cl.cfg.ThinkAlpha)
+		cl.launch(rec, event.Cycle(gap))
+		return
+	}
+	g.recycle(rec)
+	g.maybeQuit()
+}
+
+// onFail abandons a session whose frames exhausted their retransmits
+// (ARQ configurations only; backend context).
+func (g *Generator) onFail(conn int) {
+	rec, ok := g.inflight[conn]
+	if !ok {
+		return
+	}
+	delete(g.inflight, conn)
+	if !rec.quit {
+		// The whole remaining session is lost with its connection.
+		g.classes[rec.class].failed += uint64(rec.left)
+	}
+	g.recycle(rec)
+	g.maybeQuit()
+}
+
+// maybeQuit shuts the server down once the budget is offered and the
+// population has drained.
+func (g *Generator) maybeQuit() {
+	if g.quitsSent || g.liveTicks > 0 || len(g.inflight) > 0 {
+		return
+	}
+	if g.Offered() < g.cfg.Requests {
+		return
+	}
+	g.quitsSent = true
+	for i := 0; i < g.workers; i++ {
+		rec := g.alloc()
+		rec.quit = true
+		rec.conn = g.wire.NewConn()
+		g.inflight[rec.conn] = rec
+		d := event.Cycle(i+1) * 3000
+		g.wire.Open(rec.conn, d)
+		g.wire.Get(rec.conn, "/quit", d+2000)
+	}
+}
+
+// alloc takes a connection record from the pool, growing it only when
+// every record is in flight.
+func (g *Generator) alloc() *flightRec {
+	var rec *flightRec
+	if n := len(g.free); n > 0 {
+		rec = g.free[n-1]
+		g.free = g.free[:n-1]
+	} else {
+		rec = &flightRec{}
+		g.allocs++
+	}
+	g.live++
+	if g.live > g.maxLive {
+		g.maxLive = g.live
+	}
+	return rec
+}
+
+// recycle returns a record to the pool.
+func (g *Generator) recycle(rec *flightRec) {
+	*rec = flightRec{}
+	g.free = append(g.free, rec)
+	g.live--
+}

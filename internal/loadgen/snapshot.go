@@ -1,0 +1,100 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"compass/internal/stats"
+)
+
+// State is the generator's checkpoint section: every draw counter, every
+// tally, the latency histograms, and the connection-id allocator. A
+// generator restored from a State continues the exact random sequences
+// and reporting of the uninterrupted run — including mid-flash-crowd,
+// because flash windows are absolute simulated cycles, not offsets.
+type State struct {
+	// NextConn is the client connection-id allocator position; a resumed
+	// population must not reuse ids.
+	NextConn int
+	Classes  []ClassState
+}
+
+// ClassState is one class's aggregate state.
+type ClassState struct {
+	Name string
+	// Draw counters of the class's three streams.
+	ArrivalDraws, ObjectDraws, ThinkDraws uint64
+	// Tallies (Offered counts against the global budget on resume).
+	Offered, Completed, Failed, BadBytes uint64
+	Latency                              stats.HistogramState
+}
+
+// Snapshot captures the generator at a quiescent point. Snapshotting
+// with requests still in flight is an error: a connection record's
+// protocol state cannot be serialized, so checkpoints are only taken
+// between phases, when the population has drained.
+func (g *Generator) Snapshot() (State, error) {
+	if len(g.inflight) != 0 {
+		return State{}, fmt.Errorf("loadgen: snapshot with %d requests in flight", len(g.inflight))
+	}
+	st := State{NextConn: g.wire.NextConnID()}
+	for _, cl := range g.classes {
+		st.Classes = append(st.Classes, ClassState{
+			Name:         cl.cfg.Name,
+			ArrivalDraws: cl.arrival.draws,
+			ObjectDraws:  cl.object.draws,
+			ThinkDraws:   cl.think.draws,
+			Offered:      cl.offered,
+			Completed:    cl.completed,
+			Failed:       cl.failed,
+			BadBytes:     cl.badBytes,
+			Latency:      cl.lat.State(),
+		})
+	}
+	return st, nil
+}
+
+// Restore overwrites the generator's aggregate state. The receiving
+// generator must be freshly constructed from the same class list (names
+// are cross-checked); call Start afterwards to resume offering against
+// the configured budget.
+func (g *Generator) Restore(st State) error {
+	if len(st.Classes) != len(g.classes) {
+		return fmt.Errorf("loadgen: restore has %d classes, generator has %d", len(st.Classes), len(g.classes))
+	}
+	for i, cs := range st.Classes {
+		cl := g.classes[i]
+		if cl.cfg.Name != cs.Name {
+			return fmt.Errorf("loadgen: restore class %d is %q, generator has %q", i, cs.Name, cl.cfg.Name)
+		}
+		cl.arrival.draws = cs.ArrivalDraws
+		cl.object.draws = cs.ObjectDraws
+		cl.think.draws = cs.ThinkDraws
+		cl.offered = cs.Offered
+		cl.completed = cs.Completed
+		cl.failed = cs.Failed
+		cl.badBytes = cs.BadBytes
+		cl.lat.SetState(cs.Latency)
+	}
+	g.wire.SetNextConnID(st.NextConn)
+	return nil
+}
+
+// Encode serializes the state for a checkpoint section.
+func (s State) Encode() ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(s); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeState parses a checkpoint section written by Encode.
+func DecodeState(data []byte) (State, error) {
+	var s State
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return State{}, err
+	}
+	return s, nil
+}

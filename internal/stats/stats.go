@@ -222,6 +222,163 @@ func (h *Histogram) Bucket(i int) uint64 {
 	return h.buckets[i]
 }
 
+// bucketBounds returns the value range [lo, hi) of bucket i, with hi
+// clamped to just past the largest observed sample so interpolation in
+// the top (overflow) bucket never extrapolates beyond real data.
+func (h *Histogram) bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		lo = 0
+	} else {
+		lo = float64(uint64(1) << uint(i))
+	}
+	hi = float64(uint64(1) << uint(i+1))
+	if m := float64(h.max) + 1; hi > m {
+		hi = m
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) estimated by linear
+// interpolation within the power-of-two bucket holding rank q*count.
+// With no samples it returns 0; q >= 1 returns the exact maximum. The
+// estimate is exact at the bucket boundaries and never exceeds Max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return float64(h.max)
+	}
+	if q < 0 {
+		q = 0
+	}
+	target := q * float64(h.count)
+	var cum float64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		c := float64(n)
+		if cum+c >= target {
+			lo, hi := h.bucketBounds(i)
+			frac := (target - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			v := lo + frac*(hi-lo)
+			if m := float64(h.max); v > m {
+				v = m
+			}
+			return v
+		}
+		cum += c
+	}
+	return float64(h.max)
+}
+
+// HistogramState is the histogram's serializable checkpoint state.
+type HistogramState struct {
+	Buckets []uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// State captures the histogram for checkpoint serialization. Empty
+// buckets above the highest non-empty one are trimmed.
+func (h *Histogram) State() HistogramState {
+	top := 0
+	for i, n := range h.buckets {
+		if n != 0 {
+			top = i + 1
+		}
+	}
+	return HistogramState{
+		Buckets: append([]uint64(nil), h.buckets[:top]...),
+		Count:   h.count, Sum: h.sum, Max: h.max,
+	}
+}
+
+// SetState overwrites the histogram from a State. Extra buckets beyond
+// the fixed range are ignored.
+func (h *Histogram) SetState(s HistogramState) {
+	h.buckets = [32]uint64{}
+	for i := 0; i < len(s.Buckets) && i < len(h.buckets); i++ {
+		h.buckets[i] = s.Buckets[i]
+	}
+	h.count = s.Count
+	h.sum = s.Sum
+	h.max = s.Max
+}
+
+// LoadRow is one traffic class's row of the tail-latency table printed
+// alongside Table 1: offered vs completed load plus latency quantiles in
+// cycles.
+type LoadRow struct {
+	// Class names the traffic class.
+	Class string
+	// Offered counts requests issued; Completed counts responses received
+	// intact; Failed counts requests abandoned (ARQ gave up under faults).
+	Offered, Completed, Failed uint64
+	// Latency is the per-class request-latency histogram in cycles.
+	Latency *Histogram
+}
+
+// FormatLoadTable renders the per-class tail-latency table: offered and
+// completed request counts and the p50/p90/p99/p999 latency quantiles in
+// cycles. A final "total" row aggregates all classes. Returns "" with no
+// rows — runs without a load generator print nothing.
+func FormatLoadTable(rows []LoadRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %9s %9s %7s %10s %10s %10s %10s %10s\n",
+		"class", "offered", "done", "failed", "p50", "p90", "p99", "p999", "max")
+	var total LoadRow
+	var agg Histogram
+	total.Class = "total"
+	total.Latency = &agg
+	for _, r := range rows {
+		writeLoadRow(&b, r)
+		total.Offered += r.Offered
+		total.Completed += r.Completed
+		total.Failed += r.Failed
+		if r.Latency != nil {
+			agg.Merge(r.Latency)
+		}
+	}
+	if len(rows) > 1 {
+		writeLoadRow(&b, total)
+	}
+	return b.String()
+}
+
+func writeLoadRow(b *strings.Builder, r LoadRow) {
+	var h Histogram
+	if r.Latency != nil {
+		h = *r.Latency
+	}
+	fmt.Fprintf(b, "%-12s %9d %9d %7d %10.0f %10.0f %10.0f %10.0f %10d\n",
+		r.Class, r.Offered, r.Completed, r.Failed,
+		h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Quantile(0.999), h.Max())
+}
+
+// Merge adds another histogram's samples into this one bucket-wise.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Diff returns the counters minus a previous snapshot (measurement-window
 // statistics: snapshot at end of warmup, diff at end of run).
 func (c *Counters) Diff(prev *Counters) *Counters {

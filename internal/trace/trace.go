@@ -88,17 +88,12 @@ type PlayerConfig struct {
 type Player struct {
 	cfg   PlayerConfig
 	sim   *core.Sim
-	nic   *dev.NIC
+	wire  *Wire
 	trace Trace
 
 	next     int
-	nextConn int
 	inflight map[int]*flight
 	quits    int
-
-	// arq, when non-nil, runs the client half of the link-level ARQ
-	// (fault-injected configurations). Backend-owned.
-	arq *netstack.Endpoint
 
 	Completed uint64
 	BadBytes  uint64
@@ -119,11 +114,12 @@ type flight struct {
 // begin injecting).
 func NewPlayer(sim *core.Sim, nic *dev.NIC, t Trace, cfg PlayerConfig) *Player {
 	p := &Player{
-		cfg: cfg, sim: sim, nic: nic, trace: t,
-		nextConn: 1 << 16, // keep clear of any server-assigned ids
+		cfg: cfg, sim: sim, trace: t,
+		wire:     NewWire(sim, nic, cfg.Port),
 		inflight: make(map[int]*flight),
 	}
-	nic.OnTransmit = p.onPacket
+	p.wire.OnPacket = p.onPacket
+	p.wire.OnFail = p.arqFail
 	return p
 }
 
@@ -131,25 +127,10 @@ func NewPlayer(sim *core.Sim, nic *dev.NIC, t Trace, cfg PlayerConfig) *Player {
 // the host stack runs under fault injection (setup context, before
 // Start): server frames are acknowledged and deduplicated, client frames
 // retransmitted on timeout.
-func (p *Player) EnableARQ(cfg fault.NetConfig) {
-	p.arq = netstack.NewEndpoint(p.sim,
-		cfg,
-		func(pkt dev.Packet) { p.nic.Inject(pkt, 0) },
-		p.arqFail)
-	p.nic.OnTransmit = func(pkt dev.Packet, at event.Cycle) {
-		if pkt.Flags&dev.FlagACK != 0 {
-			p.arq.OnAck(pkt)
-			return
-		}
-		if !p.arq.Accept(pkt) {
-			return
-		}
-		p.onPacket(pkt, at)
-	}
-}
+func (p *Player) EnableARQ(cfg fault.NetConfig) { p.wire.EnableARQ(cfg) }
 
 // ARQ returns the client endpoint, or nil.
-func (p *Player) ARQ() *netstack.Endpoint { return p.arq }
+func (p *Player) ARQ() *netstack.Endpoint { return p.wire.ARQ() }
 
 // arqFail abandons a request whose frames exhausted their retransmits,
 // keeping the closed loop alive (backend context).
@@ -168,20 +149,6 @@ func (p *Player) arqFail(conn int) {
 	} else if len(p.inflight) == 0 {
 		p.scheduleQuits(1)
 	}
-}
-
-// sendPkt puts a client frame on the wire after delay, through the ARQ
-// when enabled (backend context or pre-Run setup).
-func (p *Player) sendPkt(pkt dev.Packet, delay event.Cycle) {
-	if p.arq == nil {
-		p.nic.Inject(pkt, delay)
-		return
-	}
-	if delay == 0 {
-		p.arq.Send(pkt)
-		return
-	}
-	p.sim.ScheduleTask(delay, "client-send", false, func() { p.arq.Send(pkt) })
 }
 
 // Start launches the initial window of clients. Call before Sim.Run (it
@@ -209,14 +176,10 @@ func (p *Player) launchNext(delay event.Cycle) {
 	}
 	req := p.trace[p.next]
 	p.next++
-	conn := p.nextConn
-	p.nextConn++
+	conn := p.wire.NewConn()
 	p.inflight[conn] = &flight{req: req}
-	p.sendPkt(dev.Packet{Conn: conn, Flags: dev.FlagSYN, Payload: []byte{byte(p.cfg.Port >> 8), byte(p.cfg.Port)}}, delay)
-	p.sendPkt(dev.Packet{
-		Conn:    conn,
-		Payload: []byte(fmt.Sprintf("GET %s HTTP/1.0\r\n\r\n", req.Path)),
-	}, delay+2000)
+	p.wire.Open(conn, delay)
+	p.wire.Get(conn, req.Path, delay+2000)
 	if f := p.inflight[conn]; f != nil {
 		f.start = p.sim.CurTime() + delay
 	}
@@ -265,11 +228,10 @@ func (p *Player) onPacket(pkt dev.Packet, at event.Cycle) {
 func (p *Player) scheduleQuits(delay event.Cycle) {
 	for p.quits < p.cfg.Workers {
 		p.quits++
-		conn := p.nextConn
-		p.nextConn++
+		conn := p.wire.NewConn()
 		p.inflight[conn] = &flight{quit: true}
 		d := delay + event.Cycle(p.quits)*3000
-		p.sendPkt(dev.Packet{Conn: conn, Flags: dev.FlagSYN, Payload: []byte{byte(p.cfg.Port >> 8), byte(p.cfg.Port)}}, d)
-		p.sendPkt(dev.Packet{Conn: conn, Payload: []byte("GET /quit HTTP/1.0\r\n\r\n")}, d+2000)
+		p.wire.Open(conn, d)
+		p.wire.Get(conn, "/quit", d+2000)
 	}
 }
