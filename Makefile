@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-compass staticcheck fmt check bench fuzz-smoke bench-sweep bench-core
+.PHONY: all build test race vet vet-compass staticcheck fmt check bench fuzz-smoke bench-sweep bench-core chaos-smoke
 
 all: check
 
 build:
 	$(GO) build ./...
 
+# Every test invocation pins -timeout: a livelocked simulation must fail
+# the suite in bounded time, not hang a CI job until the runner is killed.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 # Short-mode race pass: catches frontend/backend rendezvous races without
 # the full-length workloads. The second line runs the experiment-engine
@@ -16,16 +18,21 @@ test:
 # determinism) at full length under the detector — the expt layer's
 # correctness IS its concurrency, so it never rides the -short discount.
 race:
-	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/expt
-	$(GO) test -race -run 'TestDeterminism|TestFaults|TestWarmBatchSweep' .
+	$(GO) test -race -short -timeout 10m ./...
+	$(GO) test -race -timeout 10m ./internal/expt
+	$(GO) test -race -timeout 10m -run 'TestDeterminism|TestFaults|TestWarmBatchSweep|TestGuarded|TestAutoCkpt|TestChaosBlock' .
 
 # Fuzz smoke: 10 seconds per native fuzz target over the committed
 # corpora (go test -fuzz takes one target per invocation).
 fuzz-smoke:
-	$(GO) test -fuzz FuzzParseSpec -fuzztime 10s ./internal/fault
-	$(GO) test -fuzz FuzzReadInfo -fuzztime 10s ./internal/checkpoint
-	$(GO) test -fuzz FuzzParseSpec -fuzztime 10s ./internal/loadgen
+	$(GO) test -fuzz FuzzParseSpec -fuzztime 10s -timeout 10m ./internal/fault
+	$(GO) test -fuzz FuzzReadInfo -fuzztime 10s -timeout 10m ./internal/checkpoint
+	$(GO) test -fuzz FuzzParseSpec -fuzztime 10s -timeout 10m ./internal/loadgen
+
+# End-to-end failure containment through the CLI: injected panic,
+# quarantine table, bundle replay via -repro, induced deadlock.
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 # Serial-vs-parallel sweep benchmark; emits the machine-readable record
 # the CI uploads as an artifact.

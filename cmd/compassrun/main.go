@@ -18,17 +18,34 @@
 //
 //	compassrun -workload tpcc -faults "seed=7,disk.transient=0.01" -seeds 8 -parallel 4 -progress
 //	compassrun -sweepbench BENCH_sweep.json -parallel 0
+//
+// Supervised runs (internal/guard): every run is panic-contained and, with
+// the flags below, watched, auto-checkpointed and retried. A failed run
+// prints a single structured line (kind=panic|deadlock|watchdog|livelock|
+// quarantine ...) to stderr and exits 1 instead of dumping a raw stack:
+//
+//	compassrun -workload tpcc -deadline 30s -stall 5s -bundle /tmp/bundles
+//	compassrun -workload tpcc -seeds 4 -retries 2 -autockpt 50000:/tmp/ckpt
+//	compassrun -repro /tmp/bundles/seed9-attempt0
+//
+// -repro replays a crash bundle from scratch and exits 0 iff the bundled
+// failure reproduces with the same kind (the deterministic-replay check).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"compass"
+	"compass/internal/guard"
 )
 
 func main() {
@@ -40,6 +57,7 @@ func main() {
 		placement  = flag.String("placement", "round-robin", "round-robin | block | first-touch")
 		sched      = flag.String("sched", "fcfs", "fcfs | affinity")
 		preempt    = flag.Bool("preempt", false, "preemptive scheduling")
+		rtc        = flag.Bool("rtc", true, "interval timer (timer interrupts)")
 		agents     = flag.Int("agents", 4, "workload processes")
 		tx         = flag.Int("tx", 25, "tpcc: transactions per agent")
 		rows       = flag.Int("rows", 16384, "tpcd: lineitem rows")
@@ -53,6 +71,14 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "experiment-engine workers (0 = host cores)")
 		seeds      = flag.Int("seeds", 0, "fault-seed campaign: run this many consecutive seeds from the -faults base seed")
 		progress   = flag.Bool("progress", false, "print an engine progress line to stderr")
+		deadline   = flag.Duration("deadline", 0, "abort a run after this much host time (0 = off)")
+		stall      = flag.Duration("stall", 0, "abort a run whose event dispatch stalls for this much host time (0 = off)")
+		retries    = flag.Int("retries", 0, "campaign: retry a failed seed this many times before quarantine")
+		bundleDir  = flag.String("bundle", "", "write crash-repro bundles under this directory on failure")
+		autockpt   = flag.String("autockpt", "", `auto-checkpointing (tpcc): "interval:dir", e.g. "50000:/tmp/ckpt"`)
+		segments   = flag.Int("segments", 0, "tpcc: quiescent segments for auto-checkpointing (default 4 when -autockpt is set)")
+		chaos      = flag.String("chaos", "", `failure injection: comma-separated "crashseed=N", "crashsegment=N", "block"`)
+		repro      = flag.String("repro", "", "replay the crash-repro bundle in this directory and verify the failure reproduces")
 		benchPath  = flag.String("sweepbench", "", "run the serial-vs-parallel batch sweep bench and write JSON here")
 		coreBench  = flag.String("corebench", "", "run the single-run engine throughput bench and write JSON here")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -88,48 +114,55 @@ func main() {
 		}()
 	}
 
-	cfg := compass.DefaultConfig()
-	cfg.CPUs = *cpus
-	cfg.Nodes = *nodes
-	switch *arch {
-	case "fixed":
-		cfg.Arch = compass.ArchFixed
-	case "simple":
-		cfg.Arch = compass.ArchSimple
-	case "smp":
-		cfg.Arch = compass.ArchSMP
-	case "ccnuma":
-		cfg.Arch = compass.ArchCCNUMA
-	case "coma":
-		cfg.Arch = compass.ArchCOMA
-	default:
-		fmt.Fprintf(os.Stderr, "unknown arch %q\n", *arch)
-		os.Exit(2)
+	gcfg := compass.GuardConfig{
+		Deadline:  *deadline,
+		Stall:     *stall,
+		Retries:   *retries,
+		BundleDir: *bundleDir,
 	}
-	switch *placement {
-	case "round-robin":
-		cfg.Placement = compass.PlaceRoundRobin
-	case "block":
-		cfg.Placement = compass.PlaceBlock
-	case "first-touch":
-		cfg.Placement = compass.PlaceFirstTouch
-	default:
-		fmt.Fprintf(os.Stderr, "unknown placement %q\n", *placement)
-		os.Exit(2)
+
+	if *repro != "" {
+		os.Exit(runRepro(*repro, gcfg))
 	}
-	if *sched == "affinity" {
-		cfg.Scheduler = compass.SchedAffinity
+
+	spec := compass.RunSpec{
+		Workload:  *workload,
+		CPUs:      *cpus,
+		Arch:      *arch,
+		Nodes:     *nodes,
+		Placement: *placement,
+		Sched:     *sched,
+		Preempt:   *preempt,
+		RTC:       *rtc,
+		Agents:    *agents,
+		Tx:        *tx,
+		Rows:      *rows,
+		Requests:  *requests,
+		Syncd:     *syncd,
+		Migrate:   *migrate,
+		Faults:    *faults,
+		Load:      *load,
+		Segments:  *segments,
+		Chaos:     *chaos,
 	}
-	cfg.Preemptive = *preempt
-	cfg.SyncdInterval = *syncd
-	cfg.MigrateThreshold = *migrate
-	if *faults != "" {
-		fc, err := compass.ParseFaultSpec(*faults)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad -faults spec: %v\n", err)
+	if *autockpt != "" {
+		interval, dir, ok := strings.Cut(*autockpt, ":")
+		iv, err := strconv.ParseUint(interval, 10, 64)
+		if !ok || err != nil || dir == "" {
+			fmt.Fprintf(os.Stderr, "bad -autockpt %q (want interval:dir)\n", *autockpt)
 			os.Exit(2)
 		}
-		cfg.Faults = fc
+		spec.AutoCkptInterval = iv
+		spec.AutoCkptDir = dir
+		if spec.Segments == 0 {
+			spec.Segments = 4
+		}
+	}
+
+	cfg, err := compass.SpecConfig(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	opts := compass.ExptOptions{Workers: *parallel}
@@ -167,60 +200,18 @@ func main() {
 		return
 	}
 
-	var lc compass.LoadConfig
-	if *load != "" {
-		var err error
-		if lc, err = compass.ParseLoadSpec(*load); err != nil {
-			fmt.Fprintf(os.Stderr, "bad -load spec: %v\n", err)
+	if *seeds > 0 {
+		runner, err := compass.SpecRunner(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-	}
-	mustLoad := func(res compass.Result, err error) compass.Result {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "load run: %v\n", err)
-			os.Exit(1)
+		if err := compass.SpecChaos(spec, &cfg, &gcfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
-		return res
-	}
-
-	var runner func(compass.Config) compass.Result
-	switch *workload {
-	case "tpcc":
-		w := compass.DefaultTPCC()
-		w.Agents = *agents
-		w.TxPerAgent = *tx
-		runner = func(c compass.Config) compass.Result { return compass.RunTPCC(c, w) }
-	case "tpcd":
-		w := compass.DefaultTPCD()
-		w.Agents = *agents
-		w.Rows = *rows
-		runner = func(c compass.Config) compass.Result { return compass.RunTPCD(c, w) }
-	case "specweb":
-		if *load != "" {
-			runner = func(c compass.Config) compass.Result { return mustLoad(compass.RunLoadHTTPD(c, lc, *agents)) }
-			break
-		}
-		w := compass.DefaultSPECWeb()
-		w.Requests = *requests
-		runner = func(c compass.Config) compass.Result { return compass.RunSPECWeb(c, w, *agents, *agents*2) }
-	case "tier3":
-		w := compass.DefaultTier3()
-		if *load != "" {
-			runner = func(c compass.Config) compass.Result { return mustLoad(compass.RunLoadTier3(c, w, lc)) }
-			break
-		}
-		runner = func(c compass.Config) compass.Result { return compass.RunTier3(c, w, *requests) }
-	case "sor":
-		runner = func(c compass.Config) compass.Result {
-			return compass.RunSOR(c, compass.SORConfig{N: 64, Iters: 6, Procs: *agents})
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
-		os.Exit(2)
-	}
-
-	if *seeds > 0 {
-		camp := compass.RunSeedCampaign(cfg, compass.CampaignSeeds(cfg.Faults.Seed, *seeds), runner, opts)
+		gcfg.Spec = spec
+		camp := compass.RunSeedCampaignGuarded(cfg, compass.CampaignSeeds(cfg.Faults.Seed, *seeds), gcfg, runner, opts)
 		if *progress {
 			fmt.Fprintln(os.Stderr)
 		}
@@ -230,10 +221,25 @@ func main() {
 			fmt.Print(ft)
 		}
 		fmt.Printf("campaign wall %.2fs on %d workers\n", camp.Wall.Seconds(), camp.Workers)
+		if len(camp.Failed) > 0 {
+			for _, f := range camp.Failed {
+				line := fmt.Sprintf("kind=quarantine point=seed%d attempts=%d last=%s reason=%q",
+					f.Seed, f.Attempts, f.Kind, f.Reason)
+				if f.Bundle != "" {
+					line += " bundle=" + f.Bundle
+				}
+				fmt.Fprintln(os.Stderr, line)
+			}
+			os.Exit(1)
+		}
 		return
 	}
 
-	res := runner(cfg)
+	res, err := compass.RunSpecGuarded(spec, gcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, guard.OneLine(err))
+		os.Exit(1)
+	}
 	fmt.Println(res)
 	keys := make([]string, 0, len(res.Extra))
 	//det:ordered keys are sorted before printing
@@ -260,6 +266,50 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Syscalls)
 	}
+}
+
+// runRepro replays a crash-repro bundle from scratch and reports whether
+// the bundled failure reproduces. Exit status: 0 when the replay fails
+// with the bundled kind (reproduced), 1 otherwise (clean run or a
+// different failure — the bundle does not describe a deterministic crash).
+func runRepro(dir string, gcfg compass.GuardConfig) int {
+	m, err := guard.ReadBundle(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		return 2
+	}
+	// Replay from scratch: resume salvage is for inspection, not for the
+	// determinism check, so the replay ignores the bundled checkpoint by
+	// redirecting auto-checkpointing to a scratch directory.
+	spec := m.Spec
+	if spec.AutoCkptDir != "" {
+		scratch, err := os.MkdirTemp("", "compass-repro-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			return 2
+		}
+		defer os.RemoveAll(scratch)
+		spec.AutoCkptDir = scratch
+	}
+	gcfg.BundleDir = "" // a repro of a crash should not mint more bundles
+	deadline := gcfg.Deadline
+	if deadline <= 0 && (m.Kind == guard.KindWatchdog.String() || m.Kind == guard.KindLivelock.String()) {
+		// Watchdog failures only reproduce under a watchdog.
+		deadline = 30 * time.Second
+		gcfg.Deadline = deadline
+	}
+	_, err = compass.RunSpecGuarded(spec, gcfg)
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "repro: run completed cleanly; bundled failure (kind=%s) did not reproduce\n", m.Kind)
+		return 1
+	}
+	var a *guard.Abort
+	if errors.As(err, &a) && a.Kind.String() == m.Kind {
+		fmt.Printf("repro: reproduced %s\n", guard.OneLine(err))
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "repro: bundled kind=%s but replay produced %s\n", m.Kind, guard.OneLine(err))
+	return 1
 }
 
 // progressLine rewrites one stderr line per engine update:

@@ -87,8 +87,11 @@ type Info struct {
 
 // ConfigHash fingerprints a machine configuration. Two machines accept each
 // other's snapshots iff their hashes match; the hash covers every Config
-// field via its Go-syntax representation.
+// field via its Go-syntax representation. Host-side hooks (Observe) are
+// normalized away first: they carry no machine shape, and %#v would render
+// a function pointer's address, which varies between processes.
 func ConfigHash(cfg machine.Config) [32]byte {
+	cfg.Observe = nil
 	return sha256.Sum256([]byte(fmt.Sprintf("%#v", cfg)))
 }
 

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"compass/internal/frontend"
+)
+
+// runRecover runs the backend and returns the recovered panic value (nil if
+// Run returned normally).
+func runRecover(s *Sim) (rec any) {
+	defer func() { rec = recover() }()
+	s.Run()
+	return nil
+}
+
+// RequestAbort from another goroutine unwinds a running backend with a
+// typed *AbortError, even when the only pending work is an endless chain of
+// keep-alive tasks.
+func TestRequestAbortUnwindsRun(t *testing.T) {
+	s := New(testConfig(1))
+	var tick func()
+	tick = func() { s.ScheduleTask(10, "spin", false, tick) }
+	s.hub.Lock()
+	s.ScheduleTask(10, "spin", false, tick)
+	s.hub.Unlock()
+
+	go func() {
+		for s.Progress() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		s.RequestAbort("test abort")
+	}()
+
+	rec := runRecover(s)
+	ae, ok := rec.(*AbortError)
+	if !ok {
+		t.Fatalf("recovered %T %v, want *AbortError", rec, rec)
+	}
+	if ae.Reason != "test abort" {
+		t.Fatalf("reason = %q", ae.Reason)
+	}
+	var err error = ae
+	var target *AbortError
+	if !errors.As(err, &target) {
+		t.Fatal("AbortError does not satisfy errors.As")
+	}
+}
+
+// A proved deadlock panics with the typed *DeadlockError carrying the stuck
+// process description.
+func TestDeadlockErrorTyped(t *testing.T) {
+	s := New(testConfig(1))
+	// A process that blocks forever: a blocking backend call nobody wakes.
+	s.Spawn("stuck", func(p *frontend.Proc) {
+		p.Call(0, func() any {
+			s.BlockCurrent()
+			return nil
+		})
+	})
+	rec := runRecover(s)
+	de, ok := rec.(*DeadlockError)
+	if !ok {
+		t.Fatalf("recovered %T %v, want *DeadlockError", rec, rec)
+	}
+	if de.Detail == "" {
+		t.Fatal("deadlock detail empty")
+	}
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"compass/internal/comm"
 	"compass/internal/event"
@@ -156,6 +157,14 @@ type Sim struct {
 	ctxSwitches  uint64
 	preemptions  uint64
 	deadlockInfo string //ckpt:skip diagnostic text; a deadlocked run refuses to checkpoint
+
+	// iter counts backend loop iterations; progress mirrors it into an
+	// atomic every 64 iterations so a host-side watchdog can observe
+	// activity without touching the hot path on every spin. abortMsg is the
+	// watchdog's abort request, honored at the next loop iteration.
+	iter     uint64                 //ckpt:skip host-side watchdog scratch, no simulation effect
+	progress atomic.Uint64          //ckpt:skip host-side watchdog gauge, no simulation effect
+	abortMsg atomic.Pointer[string] //ckpt:skip host-side abort request; a tripped run never checkpoints
 }
 
 // New builds a simulator from cfg.
@@ -302,6 +311,18 @@ func (s *Sim) Run() event.Cycle {
 	defer s.hub.Unlock()
 	armed := false
 	for {
+		// Host-side supervision: mirror activity into the watchdog gauge
+		// (batched — a stalled loop stops updating it within 64 iterations)
+		// and honor a pending abort request. Neither touches simulation
+		// state, so a guarded run that never trips stays bit-identical to an
+		// unguarded one.
+		s.iter++
+		if s.iter&63 == 0 {
+			s.progress.Store(s.iter)
+		}
+		if msg := s.abortMsg.Load(); msg != nil {
+			panic(&AbortError{Reason: *msg, Cycle: uint64(s.curTime)})
+		}
 		if s.live-s.daemons == 0 && s.queue.KeepAlive() == 0 {
 			break
 		}
@@ -365,8 +386,11 @@ func (s *Sim) Run() event.Cycle {
 			panic("core: posted events but no pick with no runners")
 		}
 		if !qok {
-			// Nothing runnable, nothing queued, yet processes remain.
-			panic("core: deadlock — " + s.describeStuck())
+			// Nothing runnable, nothing queued, yet processes remain: the
+			// simulation can never advance. The typed panic lets a
+			// supervisor (internal/guard) classify the failure.
+			s.deadlockInfo = s.describeStuck()
+			panic(&DeadlockError{Detail: s.deadlockInfo, Cycle: uint64(s.curTime)})
 		}
 		// Only daemon tasks remain but processes are blocked: let the
 		// queue advance (e.g. a timer will eventually fire a wakeup).

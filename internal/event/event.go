@@ -134,6 +134,51 @@ type Queue struct {
 	keepAlive int //ckpt:skip checkpoints are quiescent (KeepAlive == 0); restore re-arms daemons with At
 
 	free []*Task //ckpt:skip task free list, host-side recycling scratch
+
+	// trace, when enabled, records the last len(trace) dispatched tasks for
+	// post-mortem diagnosis (the guard layer's livelock classifier). It is
+	// host-side observability only: recording never changes dispatch order,
+	// and a disabled ring costs one nil check per dispatch.
+	trace    []DispatchRecord //ckpt:skip host-side post-mortem diagnostics, no simulation effect
+	tracePos int              //ckpt:skip host-side post-mortem diagnostics, no simulation effect
+	traceLen int              //ckpt:skip host-side post-mortem diagnostics, no simulation effect
+}
+
+// DispatchRecord is one entry of the post-mortem dispatch ring: which task
+// label ran at which cycle.
+type DispatchRecord struct {
+	When  Cycle
+	Label string
+}
+
+// EnableTrace starts recording the last k dispatched tasks into a ring
+// buffer. k <= 0 disables tracing. The ring is diagnostic state only: it is
+// excluded from snapshots and has no effect on scheduling.
+func (q *Queue) EnableTrace(k int) {
+	if k <= 0 {
+		q.trace, q.tracePos, q.traceLen = nil, 0, 0
+		return
+	}
+	q.trace = make([]DispatchRecord, k)
+	q.tracePos, q.traceLen = 0, 0
+}
+
+// RecentDispatches returns the ring's contents oldest-first (at most the
+// trace capacity). The queue is single-owner; call only when the backend is
+// not running (post-abort or post-run).
+func (q *Queue) RecentDispatches() []DispatchRecord {
+	if q.trace == nil || q.traceLen == 0 {
+		return nil
+	}
+	out := make([]DispatchRecord, 0, q.traceLen)
+	start := 0
+	if q.traceLen == len(q.trace) {
+		start = q.tracePos
+	}
+	for i := 0; i < q.traceLen; i++ {
+		out = append(out, q.trace[(start+i)%len(q.trace)])
+	}
+	return out
 }
 
 // NewQueue returns an empty scheduler starting at cycle 0.
@@ -424,6 +469,13 @@ func (q *Queue) Step() bool {
 		q.keepAlive--
 	}
 	q.dispatched++
+	if q.trace != nil {
+		q.trace[q.tracePos] = DispatchRecord{When: t.when, Label: t.label}
+		q.tracePos = (q.tracePos + 1) % len(q.trace)
+		if q.traceLen < len(q.trace) {
+			q.traceLen++
+		}
+	}
 	fn := t.fn
 	q.recycle(t)
 	fn()

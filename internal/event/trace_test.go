@@ -1,0 +1,47 @@
+package event
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The dispatch ring records the last k dispatched tasks oldest-first,
+// wrapping correctly, without perturbing dispatch order.
+func TestDispatchTraceRing(t *testing.T) {
+	q := NewQueue()
+	q.EnableTrace(3)
+	if got := q.RecentDispatches(); got != nil {
+		t.Fatalf("fresh ring not empty: %v", got)
+	}
+	labels := []string{"a", "b", "c", "d", "e"}
+	for i, l := range labels {
+		q.At(Cycle(10*(i+1)), l, func() {})
+	}
+	for q.Step() {
+	}
+	want := []DispatchRecord{
+		{When: 30, Label: "c"},
+		{When: 40, Label: "d"},
+		{When: 50, Label: "e"},
+	}
+	if got := q.RecentDispatches(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ring = %v, want %v", got, want)
+	}
+}
+
+// A partially filled ring returns only what was dispatched, and disabling
+// the ring drops it.
+func TestDispatchTracePartialAndDisable(t *testing.T) {
+	q := NewQueue()
+	q.EnableTrace(8)
+	q.At(5, "only", func() {})
+	q.Step()
+	got := q.RecentDispatches()
+	if len(got) != 1 || got[0] != (DispatchRecord{When: 5, Label: "only"}) {
+		t.Fatalf("ring = %v, want one {5 only}", got)
+	}
+	q.EnableTrace(0)
+	if got := q.RecentDispatches(); got != nil {
+		t.Fatalf("disabled ring not nil: %v", got)
+	}
+}

@@ -16,7 +16,9 @@
 package expt
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -58,6 +60,46 @@ type Result[T any] struct {
 // progress line without the engine knowing their concrete type.
 type Cycled interface {
 	SimCycles() uint64
+}
+
+// JobError is a contained job panic: a panicking job is recorded in its
+// result slot like any other failure instead of killing the process (and
+// with it every sibling worker and the partial results they hold). The
+// original panic value and the goroutine stack at recovery time are
+// preserved for crash-repro bundles.
+type JobError struct {
+	// Index is the panicking job's position in the input slice.
+	Index int
+	// Name echoes the job name.
+	Name string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("expt: job %d (%s) panicked: %v", e.Index, e.Name, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (e.g. the engine's
+// typed *core.AbortError / *core.DeadlockError panics) to errors.As/Is.
+func (e *JobError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// runJob invokes one job with panic containment: a panic becomes a
+// *JobError in err, and the worker loop continues with the next job.
+func runJob[T any](i int, j *Job[T]) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &JobError{Index: i, Name: j.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return j.Run()
 }
 
 // Progress is one progress-line update. Updates are serialized by the
@@ -103,7 +145,9 @@ func Workers(requested, jobs int) int {
 // Run executes the jobs on the pool and returns their results in
 // job-index order. Workers write disjoint result slots; the final slice
 // is safe to read once Run returns. A job error is recorded in its slot,
-// never short-circuits the others (FirstErr reduces deterministically).
+// never short-circuits the others (FirstErr reduces deterministically),
+// and a job panic is contained into a *JobError the same way — one
+// crashing point cannot take down a multi-hour fan-out.
 func Run[T any](cfg Config, jobs []Job[T]) []Result[T] {
 	results := make([]Result[T], len(jobs))
 	if len(jobs) == 0 {
@@ -160,7 +204,7 @@ func Run[T any](cfg Config, jobs []Job[T]) []Result[T] {
 				mu.Unlock()
 
 				t0 := time.Now()
-				v, err := j.Run()
+				v, err := runJob(i, j)
 				r := Result[T]{Index: i, Name: j.Name, Value: v, Err: err, Wall: time.Since(t0)}
 				if c, ok := any(v).(Cycled); ok && err == nil {
 					r.Cycles = c.SimCycles()

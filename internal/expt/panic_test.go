@@ -1,0 +1,80 @@
+package expt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A panicking job must not kill sibling workers: every other job completes,
+// the panic surfaces as a *JobError in the panicking job's slot (and through
+// FirstErr), and Values still returns the siblings' results.
+func TestRunContainsJobPanic(t *testing.T) {
+	const n = 6
+	const bad = 2
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Name: "job",
+			Run: func() (int, error) {
+				if i == bad {
+					panic("deliberate test panic")
+				}
+				return i * 10, nil
+			},
+		}
+	}
+	rs := Run(Config{Workers: 3}, jobs)
+	if len(rs) != n {
+		t.Fatalf("got %d results, want %d", len(rs), n)
+	}
+	for i, r := range rs {
+		if i == bad {
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("sibling job %d failed: %v", i, r.Err)
+		}
+		if r.Value != i*10 {
+			t.Fatalf("sibling job %d value = %d, want %d", i, r.Value, i*10)
+		}
+	}
+
+	var je *JobError
+	if !errors.As(rs[bad].Err, &je) {
+		t.Fatalf("job %d error = %T %v, want *JobError", bad, rs[bad].Err, rs[bad].Err)
+	}
+	if je.Index != bad || je.Value != "deliberate test panic" {
+		t.Fatalf("JobError = %+v", je)
+	}
+	if len(je.Stack) == 0 || !strings.Contains(string(je.Stack), "panic") {
+		t.Fatalf("JobError stack missing or implausible: %q", je.Stack)
+	}
+
+	if err := FirstErr(rs); !errors.As(err, &je) {
+		t.Fatalf("FirstErr = %v, want the JobError", err)
+	}
+	vals := Values(rs)
+	if vals[bad] != 0 {
+		t.Fatalf("panicked job's value = %d, want zero", vals[bad])
+	}
+	for i, v := range vals {
+		if i != bad && v != i*10 {
+			t.Fatalf("Values[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+}
+
+// A panic value that is itself an error unwraps through JobError so callers
+// can errors.As for the engine's typed aborts.
+func TestJobErrorUnwrapsErrorPanics(t *testing.T) {
+	sentinel := errors.New("typed failure")
+	rs := Run(Config{Workers: 1}, []Job[int]{{
+		Name: "boom",
+		Run:  func() (int, error) { panic(sentinel) },
+	}})
+	if !errors.Is(rs[0].Err, sentinel) {
+		t.Fatalf("errors.Is failed through JobError: %v", rs[0].Err)
+	}
+}

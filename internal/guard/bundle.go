@@ -1,0 +1,140 @@
+package guard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"compass/internal/event"
+)
+
+// RunSpec is a CLI-level description of one run: everything `compassrun
+// -repro` needs to rebuild the configuration and runner and replay the
+// failure exactly. Fields mirror compassrun's flags; the simulation is a
+// pure function of them, so replaying a spec reproduces a deterministic
+// failure bit-for-bit.
+type RunSpec struct {
+	Workload  string `json:"workload"`
+	CPUs      int    `json:"cpus"`
+	Arch      string `json:"arch"`
+	Nodes     int    `json:"nodes"`
+	Placement string `json:"placement"`
+	Sched     string `json:"sched"`
+	Preempt   bool   `json:"preempt,omitempty"`
+	RTC       bool   `json:"rtc"`
+	Agents    int    `json:"agents"`
+	Tx        int    `json:"tx"`
+	Rows      int    `json:"rows"`
+	Requests  int    `json:"requests"`
+	Syncd     uint64 `json:"syncd,omitempty"`
+	Migrate   int    `json:"migrate,omitempty"`
+	// Faults and Load are the -faults / -load spec strings (empty = none).
+	Faults string `json:"faults,omitempty"`
+	Load   string `json:"load,omitempty"`
+	// Seed is the effective fault seed of the failed point (campaigns stamp
+	// the per-point seed here, overriding the Faults string's base seed).
+	Seed uint64 `json:"seed"`
+	// Segments and AutoCkpt describe segmented auto-checkpointed runs.
+	Segments         int    `json:"segments,omitempty"`
+	AutoCkptInterval uint64 `json:"autockpt_interval,omitempty"`
+	AutoCkptDir      string `json:"autockpt_dir,omitempty"`
+	// Chaos is the -chaos injection spec, so a repro re-injects the fault.
+	Chaos string `json:"chaos,omitempty"`
+}
+
+// Manifest is a crash-repro bundle's manifest.json.
+type Manifest struct {
+	// Spec rebuilds the run.
+	Spec RunSpec `json:"spec"`
+	// Label names the failed attempt (workload or seed label).
+	Label string `json:"label"`
+	// Kind/Reason/Cycle echo the classified Abort.
+	Kind   string `json:"kind"`
+	Reason string `json:"reason"`
+	Cycle  uint64 `json:"cycle"`
+	// Checkpoint is the bundled auto-checkpoint's filename (relative to the
+	// bundle directory), or empty. It is salvage state for inspection and
+	// resumed retries; -repro replays from scratch for full determinism.
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+const (
+	manifestFile = "manifest.json"
+	stackFile    = "stack.txt"
+	eventsFile   = "events.txt"
+	ckptFile     = "auto.ckpt"
+)
+
+// WriteBundle writes a crash-repro bundle: manifest.json, stack.txt, the
+// dispatch-ring tail as events.txt, and a copy of the latest
+// auto-checkpoint when one exists. Returns the bundle directory.
+func WriteBundle(dir string, m Manifest, stack []byte, ring []event.DispatchRecord, ckptSrc string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	if ckptSrc != "" {
+		if err := copyFile(ckptSrc, filepath.Join(dir, ckptFile)); err != nil {
+			return "", fmt.Errorf("guard: bundle checkpoint copy: %w", err)
+		}
+		m.Checkpoint = ckptFile
+	}
+	mj, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), append(mj, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, stackFile), stack, 0o644); err != nil {
+		return "", err
+	}
+	var ev []byte
+	for _, r := range ring {
+		ev = append(ev, fmt.Sprintf("%d %s\n", r.When, r.Label)...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, eventsFile), ev, 0o644); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// ReadBundle loads a bundle's manifest.
+func ReadBundle(dir string) (Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Manifest{}, fmt.Errorf("guard: bundle manifest: %w", err)
+	}
+	return m, nil
+}
+
+// BundleCheckpoint returns the absolute path of a bundle's checkpoint copy,
+// or "" when the bundle carries none.
+func BundleCheckpoint(dir string, m Manifest) string {
+	if m.Checkpoint == "" {
+		return ""
+	}
+	return filepath.Join(dir, m.Checkpoint)
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,159 @@
+package guard
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"compass/internal/event"
+)
+
+// A body that returns normally passes its error through untouched and
+// produces no Abort.
+func TestSessionPassthrough(t *testing.T) {
+	s := NewSession(Config{})
+	if err := s.Run("ok", func() error { return nil }); err != nil {
+		t.Fatalf("clean body errored: %v", err)
+	}
+	sentinel := errors.New("body error")
+	if err := s.Run("err", func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("body error not passed through: %v", err)
+	}
+}
+
+// A panicking body is contained and classified as KindPanic with the stack
+// captured.
+func TestSessionContainsPanic(t *testing.T) {
+	s := NewSession(Config{})
+	err := s.Run("boom", func() error { panic("kaboom") })
+	var a *Abort
+	if !errors.As(err, &a) {
+		t.Fatalf("err = %T %v, want *Abort", err, err)
+	}
+	if a.Kind != KindPanic || a.Reason != "kaboom" {
+		t.Fatalf("abort = %s %q", a.Kind, a.Reason)
+	}
+	if len(a.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+}
+
+// ChaosPanic injects a deterministic failure at the attempt's label.
+func TestSessionChaosInjection(t *testing.T) {
+	s := NewSession(Config{ChaosPanic: func(label string) {
+		if label == "seed9" {
+			panic("chaos: injected panic for seed9")
+		}
+	}})
+	if err := s.Run("seed8", func() error { return nil }); err != nil {
+		t.Fatalf("non-target label failed: %v", err)
+	}
+	err := s.Run("seed9", func() error { return nil })
+	var a *Abort
+	if !errors.As(err, &a) || a.Kind != KindPanic {
+		t.Fatalf("chaos injection not classified as panic: %v", err)
+	}
+}
+
+// The livelock signature fires only when ARQ retransmit tasks dominate.
+func TestLivelockSignature(t *testing.T) {
+	mk := func(labels ...string) []event.DispatchRecord {
+		out := make([]event.DispatchRecord, len(labels))
+		for i, l := range labels {
+			out[i] = event.DispatchRecord{When: event.Cycle(i), Label: l}
+		}
+		return out
+	}
+	if LivelockSignature(nil) {
+		t.Fatal("empty ring flagged")
+	}
+	if LivelockSignature(mk("disk-complete", "rtc-tick", "eth-rx", "arq-rto")) {
+		t.Fatal("1/4 arq flagged")
+	}
+	if !LivelockSignature(mk("arq-rto", "arq-rto", "eth-tx-intr", "arq-rto")) {
+		t.Fatal("3/4 arq not flagged")
+	}
+}
+
+// Backoff doubles per attempt and caps at 5s.
+func TestBackoffDelay(t *testing.T) {
+	if d := BackoffDelay(0, 0); d != 50*time.Millisecond {
+		t.Fatalf("default base = %v", d)
+	}
+	if d := BackoffDelay(100*time.Millisecond, 3); d != 800*time.Millisecond {
+		t.Fatalf("attempt 3 = %v", d)
+	}
+	if d := BackoffDelay(time.Second, 20); d != 5*time.Second {
+		t.Fatalf("cap = %v", d)
+	}
+}
+
+// Bundles round-trip: manifest, stack, ring tail, and checkpoint copy.
+func TestBundleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ckptSrc := filepath.Join(dir, "src.ckpt")
+	if err := os.WriteFile(ckptSrc, []byte("checkpoint-bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bdir := filepath.Join(dir, "bundle")
+	spec := RunSpec{Workload: "tpcc", CPUs: 2, Arch: "simple", Seed: 9, Agents: 2, Tx: 4, RTC: true}
+	ring := []event.DispatchRecord{{When: 100, Label: "arq-rto"}, {When: 140, Label: "eth-rx"}}
+	path, err := WriteBundle(bdir, Manifest{
+		Spec: spec, Label: "seed9", Kind: "panic", Reason: "kaboom", Cycle: 12345,
+	}, []byte("stack trace"), ring, ckptSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spec != spec || m.Kind != "panic" || m.Cycle != 12345 || m.Label != "seed9" {
+		t.Fatalf("manifest round-trip mismatch: %+v", m)
+	}
+	ck := BundleCheckpoint(path, m)
+	if b, err := os.ReadFile(ck); err != nil || string(b) != "checkpoint-bytes" {
+		t.Fatalf("checkpoint copy: %q, %v", b, err)
+	}
+	ev, err := os.ReadFile(filepath.Join(path, "events.txt"))
+	if err != nil || !strings.Contains(string(ev), "100 arq-rto") {
+		t.Fatalf("events.txt: %q, %v", ev, err)
+	}
+}
+
+// The structured one-liner renders kinds, cycles and bundles for each
+// failure shape.
+func TestOneLine(t *testing.T) {
+	a := &Abort{Kind: KindDeadlock, Reason: "stuck", Cycle: 42, Bundle: "/tmp/b"}
+	got := OneLine(a)
+	for _, want := range []string{"kind=deadlock", "cycle=42", `reason="stuck"`, "bundle=/tmp/b"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("OneLine(%v) = %q, missing %q", a, got, want)
+		}
+	}
+	q := &QuarantineError{Label: "seed9", Attempts: 3, Last: &Abort{Kind: KindPanic, Reason: "kaboom"}}
+	got = OneLine(q)
+	for _, want := range []string{"kind=quarantine", "point=seed9", "attempts=3", "last=panic"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("OneLine(%v) = %q, missing %q", q, got, want)
+		}
+	}
+	if got := OneLine(errors.New("plain")); !strings.Contains(got, "kind=error") {
+		t.Fatalf("plain error line = %q", got)
+	}
+}
+
+// ParseKind inverts String for every kind.
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindPanic, KindDeadlock, KindWatchdog, KindLivelock, KindQuarantine} {
+		if got := ParseKind(k.String()); got != k {
+			t.Fatalf("ParseKind(%q) = %v", k.String(), got)
+		}
+	}
+	if ParseKind("nonsense") != KindNone {
+		t.Fatal("unknown kind not KindNone")
+	}
+}

@@ -56,6 +56,8 @@ type Generator struct {
 	liveTicks int
 	//ckpt:skip drain latch; the quit hand-shake replays from scratch each phase
 	quitsSent bool
+	//ckpt:skip prebound quit-retry task; pending retries replay from scratch each phase
+	requitFn func()
 
 	//ckpt:skip host-side pool diagnostics (memory-proportionality assertions)
 	allocs int
@@ -122,6 +124,7 @@ func New(sim *core.Sim, nic *dev.NIC, cfg Config, catalogs []Catalog, workers, p
 	}
 	g.wire.OnPacket = g.onPacket
 	g.wire.OnFail = g.onFail
+	g.requitFn = g.requit
 	for i, cc := range cfg.Classes {
 		if len(catalogs[i]) == 0 {
 			return nil, fmt.Errorf("loadgen: class %q has an empty catalog", cc.Name)
@@ -354,12 +357,33 @@ func (g *Generator) onFail(conn int) {
 		return
 	}
 	delete(g.inflight, conn)
-	if !rec.quit {
+	if rec.quit {
+		// A lost quit would strand its server worker in the accept loop
+		// forever; re-arm the shutdown once the link has had time to
+		// recover. One retry per failure keeps the fan-out count exact.
+		g.sim.ScheduleTask(quitRetryGap, "loadgen-requit", false, g.requitFn)
+	} else {
 		// The whole remaining session is lost with its connection.
 		g.classes[rec.class].failed += uint64(rec.left)
 	}
 	g.recycle(rec)
 	g.maybeQuit()
+}
+
+// quitRetryGap is how long a lost quit waits before re-opening (cycles):
+// a fraction of a flap window, so a drain blocked by link-down recovers
+// within a bounded number of retries after the window closes.
+const quitRetryGap = 250_000
+
+// requit re-opens one quit session after an earlier one exhausted its
+// retransmits (backend context).
+func (g *Generator) requit() {
+	rec := g.alloc()
+	rec.quit = true
+	rec.conn = g.wire.NewConn()
+	g.inflight[rec.conn] = rec
+	g.wire.Open(rec.conn, 1)
+	g.wire.Get(rec.conn, "/quit", 2001)
 }
 
 // maybeQuit shuts the server down once the budget is offered and the

@@ -104,6 +104,16 @@ type Config struct {
 	// injection, bit-identical to a machine without the machinery). A
 	// value, not a pointer: the checkpoint config hash covers it.
 	Faults fault.Config
+
+	// Observe, when non-nil, is called with the assembled machine at the
+	// end of New — the seam a host-side supervisor (internal/guard) uses to
+	// attach to machines that workload entry points construct internally.
+	// It is host-side wiring, not machine shape: gob ignores func fields,
+	// and the checkpoint config hash normalizes it away, so two configs
+	// differing only in Observe accept each other's snapshots. Restored
+	// machines do not re-run the hook; the restore paths that support
+	// supervision re-invoke it explicitly.
+	Observe func(*Machine) `json:"-"`
 }
 
 // Default returns a 4-CPU simple-backend machine with a 64 MB memory, a
@@ -196,6 +206,9 @@ func New(cfg Config) *Machine {
 	m.OS = osserver.New(m.K, m.FS, m.Net, osserver.Machine{Disk: m.Disk, NIC: m.NIC, RTC: m.RTC})
 	if cfg.SyncdInterval > 0 {
 		m.OS.StartSyncd(cfg.SyncdInterval)
+	}
+	if cfg.Observe != nil {
+		cfg.Observe(m)
 	}
 	return m
 }

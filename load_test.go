@@ -1,6 +1,7 @@
 package compass
 
 import (
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -223,5 +224,71 @@ func TestLoadTier3(t *testing.T) {
 	}
 	if a, b := resultTable(first), resultTable(second); a != b {
 		t.Fatalf("same-seed tier3 runs differ:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// ARQ give-up exhaustion: a long link-down window with a short retransmit
+// budget makes every frame sent into the window exhaust its retries, so
+// the generator must book those requests as failed — in FormatLoadTable's
+// failed column and in the offered = completed + failed invariant — and
+// the whole accounting must be byte-deterministic. This is the oracle for
+// guard's livelock detector: the same give-up storm is what dominates the
+// dispatch ring of a livelocked run.
+func TestLoadARQGiveUpExhaustion(t *testing.T) {
+	cfg := loadCfg()
+	// Seed 38 flaps the link on an early session's SYN, before any other
+	// session is in flight: the 2M-cycle down window then covers every
+	// remaining session open (clean client-side give-ups, the server never
+	// accepts) and the re-armed quit handshake lands after the window.
+	fc, err := ParseFaultSpec("seed=38,net.flap=0.02,net.flapdown=2000000,net.timeout=50000,net.retries=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fc
+
+	lc := LoadConfig{
+		Seed:     21,
+		Requests: 80,
+		Classes: []loadgen.ClassConfig{
+			{Name: "web", Clients: 150_000, Interval: 1e9, Objects: 8},
+		},
+	}
+	lc.ApplyDefaults()
+
+	first, g, err := runLoadHTTPD(cfg, lc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Failed() == 0 {
+		t.Fatalf("no request exhausted its retransmits under a 2M-cycle down window:\n%s", first.LoadTable)
+	}
+	if got := g.Completed() + g.Failed(); got != g.Offered() {
+		t.Fatalf("requests unaccounted: offered %d, completed+failed %d", g.Offered(), got)
+	}
+	if first.Extra["failed"] != float64(g.Failed()) {
+		t.Fatalf("Extra[failed] = %v, generator says %d", first.Extra["failed"], g.Failed())
+	}
+
+	// The failed column of the rendered table must carry the count: parse
+	// the web row (class offered done failed ...).
+	var rowOffered, rowDone, rowFailed uint64
+	for _, line := range strings.Split(first.LoadTable, "\n") {
+		if strings.HasPrefix(line, "web") {
+			if _, err := fmt.Sscanf(line, "web %d %d %d", &rowOffered, &rowDone, &rowFailed); err != nil {
+				t.Fatalf("unparseable web row %q: %v", line, err)
+			}
+		}
+	}
+	if rowFailed != g.Failed() || rowOffered != rowDone+rowFailed {
+		t.Fatalf("table row disagrees with tallies: offered=%d done=%d failed=%d, generator failed=%d",
+			rowOffered, rowDone, rowFailed, g.Failed())
+	}
+
+	second, err := RunLoadHTTPD(cfg, lc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := resultTable(first), resultTable(second); a != b {
+		t.Fatalf("same-seed exhaustion runs differ:\n--- first ---\n%s\n--- second ---\n%s", a, b)
 	}
 }

@@ -1,11 +1,13 @@
 package compass
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"compass/internal/expt"
 	"compass/internal/frontend"
+	"compass/internal/guard"
 	"compass/internal/isa"
 	"compass/internal/machine"
 	"compass/internal/mem"
@@ -135,6 +137,107 @@ func RunBatchSweepWarmParallel(cfg Config, batches []int, warmStores, stores int
 		return nil, 0, err
 	}
 	return expt.Values(rs), warmEnd, nil
+}
+
+// SweepFailure is one batch point that produced no measurement in a
+// guarded sweep.
+type SweepFailure struct {
+	// Batch is the failed point's references-per-event setting.
+	Batch int
+	// Kind classifies the failure.
+	Kind guard.Kind
+	// Reason is the failure's cause.
+	Reason string
+	// Bundle is the crash-repro bundle directory, if one was written.
+	Bundle string
+}
+
+// RunBatchSweepWarmGuarded is RunBatchSweepWarmParallel under supervision:
+// the warm phase and every measured point run in their own guard session,
+// so one point's panic or stall costs that point, not the sweep. Returns
+// the surviving points (ordered by batches index), the failed points'
+// table rows, and the warm end cycle. Points that never trip are
+// bit-identical to the unguarded sweep's.
+func RunBatchSweepWarmGuarded(cfg Config, batches []int, warmStores, stores int, gcfg guard.Config, opts ExptOptions) ([]BatchSweepPoint, []SweepFailure, uint64, error) {
+	m := machine.New(cfg)
+	wsess := guard.NewSession(bundleSub(gcfg, "warm"))
+	var (
+		warmEnd uint64
+		snap    *expt.Snapshot
+	)
+	if err := wsess.Run("warm", func() error {
+		wsess.Attach(m.Sim)
+		spawnSweepProcs(m, cfg.CPUs, 0, 1, warmStores)
+		warmEnd = uint64(m.Sim.Run())
+		var err error
+		snap, err = expt.TakeSnapshot(m, nil)
+		return err
+	}); err != nil {
+		// Every point resumes from the warm snapshot: no snapshot, no sweep.
+		return nil, nil, 0, err
+	}
+
+	jobs := make([]expt.Job[BatchSweepPoint], len(batches))
+	for i, b := range batches {
+		b := b
+		label := fmt.Sprintf("batch%d", b)
+		pgcfg := bundleSub(gcfg, label)
+		jobs[i] = expt.Job[BatchSweepPoint]{
+			Name:      label,
+			EstCycles: uint64(stores),
+			Run: func() (BatchSweepPoint, error) {
+				sess := guard.NewSession(pgcfg)
+				var pt BatchSweepPoint
+				err := sess.Run(label, func() error {
+					rm, err := snap.Restore()
+					if err != nil {
+						return err
+					}
+					// Snapshot restore bypasses machine.New, so the session
+					// attaches to the restored engine explicitly.
+					sess.Attach(rm.Sim)
+					spawnSweepProcs(rm, cfg.CPUs, cfg.CPUs, b, stores)
+					end := uint64(rm.Sim.Run())
+					c := rm.Sim.Counters()
+					rm.FaultCounters(c)
+					pt = BatchSweepPoint{Batch: b, End: end, Measured: end - warmEnd, Counters: c}
+					return nil
+				})
+				return pt, err
+			},
+		}
+	}
+	rs := expt.Run(expt.Config{Workers: opts.Workers, Progress: opts.Progress}, jobs)
+
+	var points []BatchSweepPoint
+	var failed []SweepFailure
+	for i, r := range rs {
+		if r.Err != nil {
+			f := SweepFailure{Batch: batches[i], Kind: guard.KindPanic, Reason: r.Err.Error()}
+			var a *guard.Abort
+			if errors.As(r.Err, &a) {
+				f.Kind, f.Reason, f.Bundle = a.Kind, a.Reason, a.Bundle
+			}
+			failed = append(failed, f)
+			continue
+		}
+		points = append(points, r.Value)
+	}
+	return points, failed, warmEnd, nil
+}
+
+// FormatSweepFailures renders a guarded sweep's failed-points table; empty
+// when every point measured. Bundle paths are excluded (host-dependent).
+func FormatSweepFailures(failed []SweepFailure) string {
+	if len(failed) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %10s  %s\n", "batch", "kind", "reason")
+	for _, f := range failed {
+		fmt.Fprintf(&b, "%8d %10s  %s\n", f.Batch, f.Kind, f.Reason)
+	}
+	return b.String()
 }
 
 // FormatSweepTable renders sweep points as a deterministic table — the
