@@ -84,12 +84,23 @@ func (c *Catalog) AddTable(name, file string, rowSize, rows int) *Table {
 	return t
 }
 
-// EncodeRow packs 32-bit fields into a row buffer (big-endian, like the
-// PowerPC target).
+// EncodeRow packs 32-bit fields into a fresh row buffer (big-endian, like
+// the PowerPC target).
 func EncodeRow(rowSize int, fields ...uint32) []byte {
-	row := make([]byte, rowSize)
+	return EncodeRowInto(make([]byte, rowSize), fields...)
+}
+
+// EncodeRowInto packs 32-bit fields into the caller's row buffer (at least
+// 4×len(fields) bytes; the tail is zeroed so a reused buffer encodes the
+// same bytes a fresh one would) and returns it. Hot paths — the TPC-C bulk
+// load and the per-transaction log records — encode into a reused buffer
+// instead of allocating one per row.
+func EncodeRowInto(row []byte, fields ...uint32) []byte {
 	for i, f := range fields {
 		binary.BigEndian.PutUint32(row[i*4:], f)
+	}
+	for i := 4 * len(fields); i < len(row); i++ {
+		row[i] = 0
 	}
 	return row
 }
@@ -151,6 +162,12 @@ type Agent struct {
 	sh    *shared
 	latch simsync.SpinLock
 	fds   map[string]int
+
+	// rowBuf and recBuf are the host-side scratch buffers behind
+	// FetchRowTmp and EncodeRowTmp; each agent is driven by one process
+	// goroutine, so they need no locking.
+	rowBuf []byte
+	recBuf []byte
 }
 
 // NewAgent attaches the calling process to the buffer pool and opens the
@@ -318,11 +335,21 @@ func (a *Agent) Unpin(slotIdx int, dirty bool) {
 
 // ReadRow copies a row out of a pinned slot, charging the tuple access.
 func (a *Agent) ReadRow(t *Table, slotIdx, row int) []byte {
+	return a.ReadRowInto(t, slotIdx, row, nil)
+}
+
+// ReadRowInto is ReadRow into the caller's buffer (grown when too small),
+// returned sized to the row. The tuple charges are identical; only the
+// host-side allocation is saved.
+func (a *Agent) ReadRowInto(t *Table, slotIdx, row int, out []byte) []byte {
 	_, off := t.PageOf(row)
 	a.P.TouchRange(a.slotVA(slotIdx)+mem.VirtAddr(off), t.RowSize, false)
 	a.P.Compute(isa.InstrMix{Int: uint64(8 + t.RowSize/8), Branch: 2})
 	s := &a.sh.slots[slotIdx]
-	out := make([]byte, t.RowSize)
+	if cap(out) < t.RowSize {
+		out = make([]byte, t.RowSize)
+	}
+	out = out[:t.RowSize]
 	copy(out, s.data[off:off+t.RowSize])
 	return out
 }
@@ -343,6 +370,30 @@ func (a *Agent) FetchRow(t *Table, row int) []byte {
 	out := a.ReadRow(t, si, row)
 	a.Unpin(si, false)
 	return out
+}
+
+// FetchRowTmp is FetchRow into the agent's reusable row scratch: the
+// returned slice is valid only until this agent's next FetchRowTmp call.
+// Transaction mixes that consume each row before fetching the next (the
+// TPC-C point queries) use it to take row allocation off the per-event
+// hot path.
+func (a *Agent) FetchRowTmp(t *Table, row int) []byte {
+	page, _ := t.PageOf(row)
+	si := a.GetPage(t, page)
+	a.rowBuf = a.ReadRowInto(t, si, row, a.rowBuf)
+	a.Unpin(si, false)
+	return a.rowBuf
+}
+
+// EncodeRowTmp is EncodeRow into the agent's reusable record scratch
+// (distinct from the FetchRowTmp buffer, so a fetched row and an encoded
+// record may be live at once). Valid until the next EncodeRowTmp call.
+func (a *Agent) EncodeRowTmp(rowSize int, fields ...uint32) []byte {
+	if cap(a.recBuf) < rowSize {
+		a.recBuf = make([]byte, rowSize)
+	}
+	a.recBuf = a.recBuf[:rowSize]
+	return EncodeRowInto(a.recBuf, fields...)
 }
 
 // UpdateRow rewrites one row in place (point update).

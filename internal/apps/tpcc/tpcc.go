@@ -86,22 +86,26 @@ func Setup(filesys *fs.FS, cfg Config) *Workload {
 	w.customer = w.Cat.AddTable("customer", "tpcc.customer", rowSize, nC)
 	w.stock = w.Cat.AddTable("stock", "tpcc.stock", rowSize, cfg.Items)
 
-	mkFile := func(t *db.Table, gen func(i int) []byte) {
+	// The bulk load encodes each row directly into the file image — one
+	// allocation per table, not one per row (the load dominated the TPC-C
+	// host allocation profile).
+	mkFile := func(t *db.Table, gen func(i int, row []byte)) {
 		data := make([]byte, t.Pages()*db.PageBytes)
 		for i := 0; i < t.Rows; i++ {
 			page, off := t.PageOf(i)
-			copy(data[page*db.PageBytes+off:], gen(i))
+			base := page*db.PageBytes + off
+			gen(i, data[base:base+t.RowSize])
 		}
 		filesys.SetupCreate(t.File, data)
 	}
-	mkFile(w.warehouse, func(i int) []byte { return db.EncodeRow(rowSize, uint32(i), 0, 7) })
-	mkFile(w.district, func(i int) []byte {
-		return db.EncodeRow(rowSize, uint32(i), uint32(i/cfg.DistrictsPerW), 1, 0)
+	mkFile(w.warehouse, func(i int, row []byte) { db.EncodeRowInto(row, uint32(i), 0, 7) })
+	mkFile(w.district, func(i int, row []byte) {
+		db.EncodeRowInto(row, uint32(i), uint32(i/cfg.DistrictsPerW), 1, 0)
 	})
-	mkFile(w.customer, func(i int) []byte {
-		return db.EncodeRow(rowSize, uint32(i), uint32(i/cfg.CustomersPerD), uint32(i/(cfg.CustomersPerD*cfg.DistrictsPerW)), 1000, 0)
+	mkFile(w.customer, func(i int, row []byte) {
+		db.EncodeRowInto(row, uint32(i), uint32(i/cfg.CustomersPerD), uint32(i/(cfg.CustomersPerD*cfg.DistrictsPerW)), 1000, 0)
 	})
-	mkFile(w.stock, func(i int) []byte { return db.EncodeRow(rowSize, uint32(i), 10000, 0, 0) })
+	mkFile(w.stock, func(i int, row []byte) { db.EncodeRowInto(row, uint32(i), 10000, 0, 0) })
 	filesys.SetupCreate("tpcc.log", nil)
 
 	// Secondary index on customers (lookup by scrambled key, standing in
@@ -168,20 +172,20 @@ func (w *Workload) newOrder(a *db.Agent, rng *rand.Rand, log *db.AppendLog, orde
 	d := rng.Intn(cfg.Warehouses * cfg.DistrictsPerW)
 	a.OS.SemP(districtSem(d))
 
-	drow := a.FetchRow(w.district, d)
+	drow := a.FetchRowTmp(w.district, d)
 	oid := db.Field(drow, 2)
 	db.SetField(drow, 2, oid+1)
 	a.UpdateRow(w.district, d, drow)
 
 	cBase := d * cfg.CustomersPerD
 	c := cBase + rng.Intn(cfg.CustomersPerD)
-	crow := a.FetchRow(w.customer, c)
+	crow := a.FetchRowTmp(w.customer, c)
 	_ = db.Field(crow, 3) // credit check
 
 	items := 5 + rng.Intn(6)
 	for i := 0; i < items; i++ {
 		it := rng.Intn(cfg.Items)
-		srow := a.FetchRow(w.stock, it)
+		srow := a.FetchRowTmp(w.stock, it)
 		qty := db.Field(srow, 1)
 		if qty < 10 {
 			qty += 9100 // restock
@@ -192,7 +196,7 @@ func (w *Workload) newOrder(a *db.Agent, rng *rand.Rand, log *db.AppendLog, orde
 		a.P.Compute(isa.InstrMix{Int: 1500, IntMul: 40, Branch: 250})
 	}
 
-	rec := db.EncodeRow(rowSize, oid, uint32(d), uint32(c), uint32(items))
+	rec := a.EncodeRowTmp(rowSize, oid, uint32(d), uint32(c), uint32(items))
 	log.Append(a, rec)
 	// Index maintenance: the new order becomes findable by (district, oid).
 	latch := a.Lock(indexLatchWord)
@@ -211,11 +215,11 @@ func (w *Workload) payment(a *db.Agent, rng *rand.Rand, log *db.AppendLog) {
 	amount := uint32(1 + rng.Intn(5000))
 	a.OS.SemP(districtSem(d))
 
-	wrow := a.FetchRow(w.warehouse, wid)
+	wrow := a.FetchRowTmp(w.warehouse, wid)
 	db.SetField(wrow, 1, db.Field(wrow, 1)+amount)
 	a.UpdateRow(w.warehouse, wid, wrow)
 
-	drow := a.FetchRow(w.district, d)
+	drow := a.FetchRowTmp(w.district, d)
 	db.SetField(drow, 3, db.Field(drow, 3)+amount)
 	a.UpdateRow(w.district, d, drow)
 
@@ -229,12 +233,12 @@ func (w *Workload) payment(a *db.Agent, rng *rand.Rand, log *db.AppendLog) {
 		}
 		c = int(rowid)
 	}
-	crow := a.FetchRow(w.customer, c)
+	crow := a.FetchRowTmp(w.customer, c)
 	db.SetField(crow, 3, db.Field(crow, 3)-amount)
 	db.SetField(crow, 4, db.Field(crow, 4)+1)
 	a.UpdateRow(w.customer, c, crow)
 
-	rec := db.EncodeRow(rowSize, 0xFFFF_FFFF, uint32(d), uint32(c), amount)
+	rec := a.EncodeRowTmp(rowSize, 0xFFFF_FFFF, uint32(d), uint32(c), amount)
 	log.Append(a, rec)
 	a.OS.SemV(districtSem(d))
 }

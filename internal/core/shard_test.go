@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"compass/internal/event"
+)
+
+// A sharded configuration without a conservative quantum is rejected at
+// construction with an error that names the missing piece — silently
+// running serial (or worse, with a zero quantum) would hide a
+// misassembled machine.
+func TestShardsRequireLookahead(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New accepted Shards=4 with no ShardLookahead")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "ShardLookahead") || !strings.Contains(msg, "Shards=4") {
+			t.Fatalf("unhelpful rejection: %v", r)
+		}
+	}()
+	cfg := testConfig(1)
+	cfg.Shards = 4
+	New(cfg)
+}
+
+// Lane maps affinity keys onto the non-home lanes round-robin, and
+// collapses everything onto the home lane when the backend is serial —
+// so components capture a Lane at setup and run unchanged either way.
+func TestLaneAffinityMapping(t *testing.T) {
+	serial := New(testConfig(1))
+	if got := serial.ShardCount(); got != 1 {
+		t.Fatalf("serial ShardCount = %d", got)
+	}
+	for _, aff := range []int{-1, 0, 1, 7} {
+		if l := serial.Lane(aff); l.Shard() != 0 {
+			t.Fatalf("serial Lane(%d) on shard %d, want home", aff, l.Shard())
+		}
+	}
+
+	cfg := testConfig(1)
+	cfg.Shards = 3
+	cfg.ShardLookahead = 100
+	s := New(cfg)
+	if got := s.ShardCount(); got != 3 {
+		t.Fatalf("ShardCount = %d, want 3", got)
+	}
+	if got := s.ShardLookahead(); got != event.Cycle(100) {
+		t.Fatalf("ShardLookahead = %d, want 100", got)
+	}
+	if l := s.Lane(-1); l.Shard() != 0 {
+		t.Fatalf("Lane(-1) on shard %d, want home", l.Shard())
+	}
+	// Affinity keys cycle over the non-home lanes only: the home lane is
+	// reserved for shared machine state.
+	for aff := 0; aff < 6; aff++ {
+		want := 1 + aff%2
+		if l := s.Lane(aff); l.Shard() != want {
+			t.Fatalf("Lane(%d) on shard %d, want %d", aff, l.Shard(), want)
+		}
+	}
+}

@@ -1,0 +1,587 @@
+// Sharded execution: a conservative parallel discrete-event backend layered
+// over the calendar Queue.
+//
+// The machine is partitioned into shards ("lanes"): lane 0 is the home lane
+// — the coordinator's own serial context, where the kernel, devices, memory
+// models and every untagged task live — and lanes 1..N-1 own shard-affine
+// task streams (per-class open-loop traffic generators today; any component
+// whose tasks touch only shard-private state can opt in). A window opens
+// only when the earliest pending tasks form a serially-consecutive run of
+// lane tasks: the coordinator drains that run — exactly the tasks a serial
+// backend would dispatch next, in exactly its order — hands each lane its
+// slice, runs the lanes in parallel, and parks at the barrier.
+//
+// Determinism is by construction, not by repair. Because the drained run is
+// the serial dispatch prefix, every global counter the serial engine would
+// have produced (clock, dispatch count, keep-alive) is reproduced at the
+// barrier; and because window-born tasks are merged in schedule-moment
+// order — (parent's dispatch order, birth index), the order a serial run
+// would have called schedule() in — they receive exactly the sequence
+// numbers the serial run would have assigned. A -shards N run is therefore
+// byte-identical to a serial run, including checkpoint bytes.
+//
+// The conservative quantum is the lookahead: the minimum latency of any
+// cross-shard interaction (for the client-side lanes, the NIC wire time).
+// Lane tasks may schedule into their own lane freely; anything bound for
+// another shard must be at least one lookahead away, which lands it at or
+// beyond the window's end — the panic on violation is the proof obligation.
+package event
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded runs windows of shard-affine tasks in parallel over a Queue. It
+// is created once per simulation; with fewer than two lanes (or zero
+// lookahead) it never opens a window and the queue behaves exactly as the
+// serial engine. The engine holds no simulation state of its own between
+// windows: at any quiescent point everything lives in the Queue, which is
+// why snapshots are shard-count-invariant.
+type Sharded struct {
+	q         *Queue
+	lookahead Cycle
+	lanes     []*Lane
+
+	// abortCheck, when non-nil, is polled by lanes every 64 dispatches; it
+	// panics (with the host supervisor's typed abort error) to tear down a
+	// window whose coordinator is parked at the barrier.
+	abortCheck func(now Cycle)
+
+	// progress is a host-visible activity gauge for watchdogs: it advances
+	// with lane dispatches while the coordinator waits at a barrier.
+	progress atomic.Uint64
+
+	// windows / parallelWindows / drained are diagnostic totals.
+	windows         uint64
+	parallelWindows uint64
+	drained         uint64
+
+	active []*Lane // drain scratch
+	births []*Task // barrier-merge scratch
+}
+
+// NewSharded builds an engine with the given lane count over q. lookahead
+// is the conservative quantum: the minimum cross-shard latency. A lane
+// count below 1 is treated as 1 (home lane only, serial behaviour).
+func NewSharded(q *Queue, lanes int, lookahead Cycle, abortCheck func(now Cycle)) *Sharded {
+	if lanes < 1 {
+		lanes = 1
+	}
+	e := &Sharded{q: q, lookahead: lookahead, abortCheck: abortCheck}
+	e.lanes = make([]*Lane, lanes)
+	for i := range e.lanes {
+		e.lanes[i] = &Lane{eng: e, q: q, shard: int32(i)}
+	}
+	return e
+}
+
+// Lanes returns the lane count (including the home lane 0).
+func (e *Sharded) Lanes() int { return len(e.lanes) }
+
+// Lookahead returns the conservative quantum in cycles.
+func (e *Sharded) Lookahead() Cycle { return e.lookahead }
+
+// Lane returns lane i. Lane handles are valid for the life of the engine;
+// components capture them at setup and use them from their own tasks.
+func (e *Sharded) Lane(i int) *Lane { return e.lanes[i] }
+
+// Progress returns the lane-dispatch activity gauge (monotone; safe from
+// any goroutine).
+func (e *Sharded) Progress() uint64 { return e.progress.Load() }
+
+// Windows returns how many windows ran, how many ran multi-lane, and how
+// many tasks were drained into windows in total.
+func (e *Sharded) Windows() (windows, parallel, tasks uint64) {
+	return e.windows, e.parallelWindows, e.drained
+}
+
+// RunWindow attempts one conservative window: if the earliest pending task
+// belongs to a non-home lane and lies before limit, it drains the maximal
+// serially-consecutive run of lane tasks closer than one lookahead, runs
+// the involved lanes (in parallel when more than one), and merges births
+// back in schedule-moment order. It reports whether a window ran; when it
+// returns false the queue is untouched and the caller dispatches serially.
+//
+// limit is exclusive: the window may dispatch tasks strictly before it.
+// Callers pass min(frontend activity)+1 so that tasks tied with a frontend
+// event still dispatch first, matching the serial loop's tie rule.
+func (e *Sharded) RunWindow(limit Cycle) bool {
+	if len(e.lanes) < 2 || e.lookahead == 0 {
+		return false
+	}
+	q := e.q
+	t0 := q.nextLive()
+	if t0 == nil || t0.shard == 0 || t0.when >= limit {
+		return false
+	}
+	end := limit
+	if w := t0.when + e.lookahead; w < end {
+		end = w
+	}
+
+	// Drain the maximal prefix of lane tasks before end: exactly the tasks
+	// the serial engine would dispatch next, in its order. The clock
+	// advances with the drain just as serial dispatch would advance it.
+	active := e.active[:0]
+	count := 0
+	for {
+		t := q.nextLive()
+		if t == nil || t.shard == 0 || t.when >= end {
+			break
+		}
+		q.popNext()
+		t.state = stateLane
+		l := e.lanes[t.shard]
+		if len(l.run) == 0 {
+			active = append(active, l)
+		}
+		l.run = append(l.run, t)
+		count++
+	}
+	e.active = active
+	if count == 0 {
+		return false
+	}
+
+	// Window-born tasks may run inside the window only if they dispatch
+	// before the first undrained task — at its timestamp the serial engine
+	// would run that task first (it holds an earlier sequence number).
+	localLimit := end
+	if n := q.nextLive(); n != nil && n.when < localLimit {
+		localLimit = n.when
+	}
+	for _, l := range active {
+		l.begin(localLimit)
+	}
+	if len(active) == 1 {
+		active[0].exec()
+	} else {
+		e.parallelWindows++
+		var wg sync.WaitGroup
+		for _, l := range active[1:] {
+			wg.Add(1)
+			go func(l *Lane) {
+				defer wg.Done()
+				l.exec()
+			}(l)
+		}
+		active[0].exec()
+		wg.Wait()
+	}
+	e.windows++
+	e.drained += uint64(count)
+
+	// Barrier: contain panics first (a torn window is terminal, like a
+	// panic mid-dispatch in the serial engine — typed panic values reach
+	// the supervisor unchanged).
+	for _, l := range active {
+		if l.panicked {
+			v := l.panicVal
+			e.reset(active)
+			panic(v)
+		}
+	}
+
+	// Merge the post-mortem dispatch trace in global dispatch order before
+	// any task is recycled (labels and birth records must still be live).
+	if q.trace != nil {
+		e.mergeTrace(active)
+	}
+
+	// Apply deferred cancels of queued tasks (marked non-pending by their
+	// lanes mid-window) now that the coordinator owns the queue again.
+	// Lane order keeps the application deterministic; the sets are
+	// disjoint, so the result is order-independent anyway.
+	for _, l := range active {
+		for _, ref := range l.cancels {
+			ref.t.canceled = false // let Queue.Cancel do the real removal
+			q.Cancel(ref)
+		}
+		l.cancels = l.cancels[:0]
+	}
+
+	// Assign global sequence numbers to every window birth in schedule-
+	// moment order — the order the serial engine would have called
+	// schedule() in. Births that already ran (or were cancelled) burn
+	// their number; survivors are placed into the queue.
+	births := e.births[:0]
+	for _, l := range active {
+		births = append(births, l.births...)
+	}
+	sort.Slice(births, func(i, j int) bool { return momentLess(births[i], births[j]) })
+	for _, t := range births {
+		if t.state == statePending {
+			q.scheduleExisting(t)
+		} else {
+			q.seq++
+		}
+	}
+	e.births = births[:0]
+
+	// Fold lane results into the global counters and clock, then recycle.
+	maxNow := q.now
+	for _, l := range active {
+		q.dispatched += l.dispatched
+		if l.now > maxNow {
+			maxNow = l.now
+		}
+		l.finish()
+	}
+	if maxNow > q.now {
+		q.Advance(maxNow)
+	}
+	return true
+}
+
+// reset clears lane window state after a contained panic so the engine's
+// scratch does not hold torn tasks (the run is terminal; no further
+// windows will open, but the supervisor may still inspect the queue).
+func (e *Sharded) reset(active []*Lane) {
+	for _, l := range active {
+		l.run = l.run[:0]
+		l.births = l.births[:0]
+		l.ran = l.ran[:0]
+		l.lheap = l.lheap[:0]
+		l.cancels = l.cancels[:0]
+		l.inWindow = false
+		l.cur = nil
+	}
+}
+
+// mergeTrace writes the window's dispatches into the queue's trace ring in
+// global dispatch order (a k-way merge of the lanes' ordered run logs).
+func (e *Sharded) mergeTrace(active []*Lane) {
+	idx := make([]int, len(active))
+	for {
+		var best *Task
+		bi := -1
+		for i, l := range active {
+			if idx[i] < len(l.ran) {
+				t := l.ran[idx[i]]
+				if best == nil || dispatchLess(t, best) {
+					best, bi = t, i
+				}
+			}
+		}
+		if best == nil {
+			return
+		}
+		idx[bi]++
+		e.q.traceRecord(best.when, best.label)
+	}
+}
+
+// dispatchLess orders two window tasks by serial dispatch order: ascending
+// timestamp; at equal timestamps, tasks holding global sequence numbers
+// (drained before the window opened) precede window-born tasks, global
+// sequence numbers compare directly, and window-born tasks compare by
+// schedule moment.
+func dispatchLess(a, b *Task) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	ab, bb := a.bornParent != nil, b.bornParent != nil
+	if !ab && !bb {
+		return a.seq < b.seq
+	}
+	if ab != bb {
+		// The pre-window task was scheduled earlier, so it holds the
+		// smaller sequence number in the serial run.
+		return bb
+	}
+	return momentLess(a, b)
+}
+
+// momentLess orders window-born tasks by schedule moment: the dispatch
+// order of their parents, then birth order within a parent. Parent chains
+// terminate at drained tasks, which carry global sequence numbers.
+func momentLess(a, b *Task) bool {
+	if a.bornParent != b.bornParent {
+		return dispatchLess(a.bornParent, b.bornParent)
+	}
+	return a.bornIdx < b.bornIdx
+}
+
+// Lane is one shard's scheduling context. Components that opt into a shard
+// capture their Lane at setup and schedule through it from their own
+// tasks; the same handle works identically whether the engine is sharded
+// or serial (outside a window every call passes through to the global
+// queue, tagged with the lane's shard so future windows can claim it).
+//
+// The lane-affinity contract: a task scheduled on lane k may touch only
+// lane-k-private state; everything shared (kernel, devices, models, wire)
+// is reached by Send, which schedules onto the home lane at least one
+// lookahead in the future.
+type Lane struct {
+	eng   *Sharded
+	q     *Queue
+	shard int32
+
+	// Window state, owned by the lane's worker goroutine between begin and
+	// the barrier; outside a window the coordinator owns it exclusively.
+	inWindow   bool
+	now        Cycle
+	limit      Cycle   // window-born tasks run locally only strictly before this
+	run        []*Task // drained tasks, serial dispatch order
+	pos        int
+	lheap      []*Task   // window-born runnable tasks, min-heap by dispatchLess
+	births     []*Task   // every window-born task, birth order
+	ran        []*Task   // dispatched tasks, dispatch order (trace merge)
+	cancels    []TaskRef // deferred cancels of queued own-shard tasks
+	cur        *Task     // task whose fn is executing (birth parent)
+	birthIdx   uint32
+	dispatched uint64
+
+	free []*Task // lane-local task pool
+
+	panicked bool
+	panicVal any
+}
+
+// Shard returns the lane's shard index (0 = home).
+func (l *Lane) Shard() int { return int(l.shard) }
+
+// Now returns the lane's current cycle: inside a window, the timestamp of
+// the task being dispatched; outside, the global clock.
+func (l *Lane) Now() Cycle {
+	if l.inWindow {
+		return l.now
+	}
+	return l.q.Now()
+}
+
+// SendLatency returns the engine's lookahead: the minimum delay a Send
+// must carry, and the delay cross-shard traffic should be renormalized to.
+func (l *Lane) SendLatency() Cycle { return l.eng.lookahead }
+
+// After schedules fn on this lane delay cycles from the lane's now
+// (daemon: does not keep the simulation alive).
+func (l *Lane) After(delay Cycle, label string, fn func()) TaskRef {
+	return l.schedule(delay, l.shard, label, false, fn)
+}
+
+// AfterKeep is After for tasks that keep the simulation alive.
+func (l *Lane) AfterKeep(delay Cycle, label string, fn func()) TaskRef {
+	return l.schedule(delay, l.shard, label, true, fn)
+}
+
+// Send schedules fn on the home lane delay cycles from the lane's now —
+// the only way a lane task reaches shared state. From a non-home lane the
+// delay must be at least the lookahead (the conservative quantum exists
+// exactly because cross-shard interactions take that long); violations
+// panic in sharded and serial mode alike, so a misconfigured component
+// cannot work serially and diverge sharded.
+func (l *Lane) Send(delay Cycle, label string, fn func()) TaskRef {
+	if l.shard != 0 && delay < l.eng.lookahead {
+		panic(fmt.Sprintf("event: lane %d send %q with delay %d below lookahead %d",
+			l.shard, label, delay, l.eng.lookahead))
+	}
+	return l.schedule(delay, 0, label, true, fn)
+}
+
+// Cancel removes a pending task scheduled through this lane. Stale refs
+// (task ran or was already cancelled — including in another lane's window)
+// are no-ops, exactly like Queue.Cancel. Cancelling another shard's live
+// task panics: that is a lane-affinity violation, not a race to tolerate.
+func (l *Lane) Cancel(ref TaskRef) {
+	t := ref.t
+	if t == nil || t.gen != ref.gen || t.canceled {
+		return
+	}
+	if !l.inWindow {
+		l.q.Cancel(ref)
+		return
+	}
+	switch t.state {
+	case stateFree, stateDone:
+		return
+	case statePending:
+		if t.bornParent == nil || t.bornParent.shard != l.shard {
+			panic(fmt.Sprintf("event: lane %d cancel of lane %d window birth %q", l.shard, t.shard, t.label))
+		}
+		t.state = stateDone
+		t.fn = nil
+	case stateLane:
+		if t.shard != l.shard {
+			panic(fmt.Sprintf("event: lane %d cancel of lane %d window task %q", l.shard, t.shard, t.label))
+		}
+		t.state = stateDone
+		t.fn = nil
+	default:
+		// stateRing / stateOverflow: still in the global queue (beyond the
+		// window horizon, or behind a home task). Only the owning lane may
+		// cancel it; the ref goes non-pending immediately, and the
+		// structural removal is deferred to the barrier, where the
+		// coordinator owns the queue again.
+		if t.shard != l.shard {
+			panic(fmt.Sprintf("event: lane %d cancel of lane %d live task %q", l.shard, t.shard, t.label))
+		}
+		t.canceled = true
+		l.cancels = append(l.cancels, ref)
+	}
+}
+
+func (l *Lane) schedule(delay Cycle, shard int32, label string, keep bool, fn func()) TaskRef {
+	if !l.inWindow {
+		// Passthrough: serial mode, or a home-lane/setup-context call
+		// between windows. Tag the shard so a later window can claim it.
+		return l.q.schedule(l.q.now+delay, shard, label, keep, fn)
+	}
+	when := l.now + delay
+	t := l.alloc()
+	t.when = when
+	t.fn = fn
+	t.label = label
+	t.keep = keep
+	t.shard = shard
+	t.state = statePending
+	t.bornParent = l.cur
+	t.bornIdx = l.birthIdx
+	l.birthIdx++
+	l.births = append(l.births, t)
+	if shard == l.shard && when < l.limit {
+		l.heapPush(t)
+	}
+	return TaskRef{t: t, gen: t.gen}
+}
+
+func (l *Lane) alloc() *Task {
+	if n := len(l.free); n > 0 {
+		t := l.free[n-1]
+		l.free = l.free[:n-1]
+		return t
+	}
+	return &Task{}
+}
+
+func (l *Lane) recycleLocal(t *Task) {
+	t.gen++
+	t.fn = nil
+	t.label = ""
+	t.state = stateFree
+	t.shard = 0
+	t.bornParent = nil
+	t.bornIdx = 0
+	l.free = append(l.free, t)
+}
+
+// begin arms the lane for a window. The coordinator has already filled
+// l.run with the lane's drained tasks in serial dispatch order.
+func (l *Lane) begin(localLimit Cycle) {
+	l.inWindow = true
+	l.limit = localLimit
+	l.now = l.run[0].when
+	l.pos = 0
+	l.birthIdx = 0
+	l.dispatched = 0
+	l.panicked = false
+	l.panicVal = nil
+}
+
+// exec dispatches the lane's window: the drained run list merged with
+// window-born local tasks, in serial dispatch order, until both are
+// exhausted. Panics are contained for the coordinator to re-raise.
+func (l *Lane) exec() {
+	defer func() {
+		if r := recover(); r != nil {
+			l.panicked = true
+			l.panicVal = r
+		}
+	}()
+	for {
+		var t *Task
+		fromHeap := false
+		if l.pos < len(l.run) {
+			t = l.run[l.pos]
+		}
+		if len(l.lheap) > 0 && (t == nil || dispatchLess(l.lheap[0], t)) {
+			t = l.lheap[0]
+			fromHeap = true
+		}
+		if t == nil {
+			return
+		}
+		if fromHeap {
+			l.heapPop()
+		} else {
+			l.pos++
+		}
+		if t.state == stateDone {
+			continue // tombstoned by an earlier task in this window
+		}
+		l.now = t.when
+		t.state = stateDone // refs go non-pending before fn, like serial recycle
+		l.cur = t
+		l.dispatched++
+		l.ran = append(l.ran, t)
+		if l.dispatched&63 == 0 {
+			l.eng.progress.Add(64)
+			if l.eng.abortCheck != nil {
+				l.eng.abortCheck(l.now)
+			}
+		}
+		t.fn()
+	}
+}
+
+// finish recycles the window's consumed tasks and clears birth records.
+// Survivor births have just been placed into the queue with fresh global
+// sequence numbers; everything else returns to the lane pool.
+func (l *Lane) finish() {
+	for _, t := range l.births {
+		t.bornParent = nil
+		t.bornIdx = 0
+		if t.state == stateDone {
+			l.recycleLocal(t)
+		}
+	}
+	for _, t := range l.run {
+		l.recycleLocal(t) // every drained task has run or been tombstoned
+	}
+	l.run = l.run[:0]
+	l.births = l.births[:0]
+	l.ran = l.ran[:0]
+	l.pos = 0
+	l.inWindow = false
+	l.cur = nil
+}
+
+func (l *Lane) heapPush(t *Task) {
+	l.lheap = append(l.lheap, t)
+	i := len(l.lheap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !dispatchLess(l.lheap[i], l.lheap[p]) {
+			break
+		}
+		l.lheap[i], l.lheap[p] = l.lheap[p], l.lheap[i]
+		i = p
+	}
+}
+
+func (l *Lane) heapPop() *Task {
+	t := l.lheap[0]
+	n := len(l.lheap) - 1
+	l.lheap[0] = l.lheap[n]
+	l.lheap[n] = nil
+	l.lheap = l.lheap[:n]
+	i := 0
+	for {
+		c, r := 2*i+1, 2*i+2
+		if c >= n {
+			break
+		}
+		if r < n && dispatchLess(l.lheap[r], l.lheap[c]) {
+			c = r
+		}
+		if !dispatchLess(l.lheap[c], l.lheap[i]) {
+			break
+		}
+		l.lheap[i], l.lheap[c] = l.lheap[c], l.lheap[i]
+		i = c
+	}
+	return t
+}

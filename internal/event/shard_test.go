@@ -1,0 +1,258 @@
+package event
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The sharded engine's contract is byte-identity with serial dispatch. The
+// harness below runs one synthetic multi-class workload — self-rescheduling
+// lane ticks with random delays, bursts, cancels (sometimes stale), sends
+// home across the lookahead, and home tasks scheduling back into lanes —
+// twice: once stepping the queue serially, once through RunWindow. Every
+// observable must match exactly: per-class logs, the home log, the clock,
+// the sequence counter, the dispatch counter, and the trace ring.
+
+const harnessLookahead = 1000
+
+type shardHarness struct {
+	q       *Queue
+	eng     *Sharded
+	classes []*shardClass
+	homeLog []uint64
+}
+
+type shardClass struct {
+	h        *shardHarness
+	id       int
+	lane     *Lane
+	rng      uint64
+	ticks    int
+	maxTicks int
+	burst    TaskRef
+	log      []uint64
+
+	tickFn  func()
+	burstFn func()
+	sendFn  func()
+	bonusFn func()
+}
+
+func newShardHarness(lanes, classCount, maxTicks int, seed uint64) *shardHarness {
+	q := NewQueue()
+	h := &shardHarness{q: q, eng: NewSharded(q, lanes, harnessLookahead, nil)}
+	for i := 0; i < classCount; i++ {
+		c := &shardClass{h: h, id: i, rng: seed + uint64(i)*0x9e3779b97f4a7c15 + 1, maxTicks: maxTicks}
+		if lanes > 1 {
+			c.lane = h.eng.Lane(1 + i%(lanes-1))
+		} else {
+			c.lane = h.eng.Lane(0)
+		}
+		c.tickFn = c.tick
+		c.burstFn = c.burstHit
+		c.sendFn = c.send
+		c.bonusFn = c.bonus
+		h.classes = append(h.classes, c)
+		c.lane.AfterKeep(Cycle(10+seed%50+uint64(i)*7), "tick", c.tickFn)
+	}
+	return h
+}
+
+func (c *shardClass) rand() uint64 {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return c.rng
+}
+
+func (c *shardClass) tick() {
+	c.log = append(c.log, uint64(c.lane.Now())<<8|uint64(c.id))
+	c.ticks++
+	if c.ticks >= c.maxTicks {
+		return
+	}
+	r := c.rand()
+	switch r % 4 {
+	case 0:
+		c.burst = c.lane.After(Cycle(1+r%700), "burst", c.burstFn)
+	case 1:
+		// Often stale (already ran or cancelled): must be a no-op.
+		c.lane.Cancel(c.burst)
+	}
+	if r%5 == 0 {
+		c.lane.Send(c.lane.SendLatency()+Cycle(r%300), "send-home", c.sendFn)
+	}
+	if r%31 == 0 {
+		// Exactly at the conservative bound: lands on the barrier cycle.
+		c.lane.Send(c.lane.SendLatency(), "send-edge", c.sendFn)
+	}
+	c.lane.AfterKeep(Cycle(1+r%500), "tick", c.tickFn)
+}
+
+func (c *shardClass) burstHit() {
+	c.log = append(c.log, uint64(c.lane.Now())<<8|uint64(c.id)|0x40)
+}
+
+// send runs on the home lane (scheduled via Send).
+func (c *shardClass) send() {
+	h := c.h
+	h.homeLog = append(h.homeLog, uint64(h.q.Now())<<8|uint64(c.id)|0x80)
+	if c.id == 0 {
+		// Home context scheduling back into a lane (passthrough path).
+		c.lane.AfterKeep(250, "bonus", c.bonusFn)
+	}
+}
+
+func (c *shardClass) bonus() {
+	c.log = append(c.log, uint64(c.lane.Now())<<8|uint64(c.id)|0xC0)
+}
+
+type harnessResult struct {
+	classLogs [][]uint64
+	homeLog   []uint64
+	state     QueueState
+	trace     []DispatchRecord
+}
+
+func (h *shardHarness) run(windows bool) harnessResult {
+	h.q.EnableTrace(48)
+	for {
+		if windows && h.eng.RunWindow(^Cycle(0)) {
+			continue
+		}
+		if !h.q.Step() {
+			break
+		}
+	}
+	res := harnessResult{homeLog: h.homeLog, state: h.q.State(), trace: h.q.RecentDispatches()}
+	for _, c := range h.classes {
+		res.classLogs = append(res.classLogs, c.log)
+	}
+	return res
+}
+
+func TestShardedMatchesSerial(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		ref := newShardHarness(4, 3, 300, seed).run(false)
+		if ref.state.Dispatched == 0 {
+			t.Fatalf("seed %d: reference run dispatched nothing", seed)
+		}
+		for _, lanes := range []int{1, 2, 4, 7} {
+			got := newShardHarness(lanes, 3, 300, seed).run(true)
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("seed %d lanes %d: sharded run diverged from serial\nserial: %+v\nsharded: %+v",
+					seed, lanes, ref.state, got.state)
+			}
+		}
+		// A windowed run must actually exercise windows for the test to
+		// mean anything.
+		h := newShardHarness(4, 3, 300, seed)
+		h.run(true)
+		if w, _, drained := h.eng.Windows(); w == 0 || drained == 0 {
+			t.Fatalf("seed %d: no windows ran (windows=%d drained=%d)", seed, w, drained)
+		}
+	}
+}
+
+func TestShardedZeroLookaheadNeverWindows(t *testing.T) {
+	q := NewQueue()
+	eng := NewSharded(q, 4, 0, nil)
+	eng.Lane(2).AfterKeep(10, "tick", func() {})
+	if eng.RunWindow(^Cycle(0)) {
+		t.Fatal("zero-lookahead engine opened a window")
+	}
+	if !q.Step() {
+		t.Fatal("task vanished")
+	}
+}
+
+func TestShardedWindowLimit(t *testing.T) {
+	q := NewQueue()
+	eng := NewSharded(q, 2, 1000, nil)
+	eng.Lane(1).AfterKeep(500, "tick", func() {})
+	if eng.RunWindow(400) {
+		t.Fatal("window opened past its limit")
+	}
+	if !eng.RunWindow(501) {
+		t.Fatal("window refused a task strictly before the limit")
+	}
+}
+
+func TestShardedSendBelowLookaheadPanics(t *testing.T) {
+	q := NewQueue()
+	eng := NewSharded(q, 2, 1000, nil)
+	lane := eng.Lane(1)
+	lane.AfterKeep(10, "tick", func() {
+		lane.Send(999, "too-close", func() {})
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("cross-shard send below lookahead did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "below lookahead") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	eng.RunWindow(^Cycle(0))
+}
+
+func TestShardedStaleCancelAcrossShards(t *testing.T) {
+	q := NewQueue()
+	eng := NewSharded(q, 3, 1000, nil)
+	var ref TaskRef
+	ran := 0
+	ref = eng.Lane(1).AfterKeep(10, "victim", func() { ran++ })
+	if !eng.RunWindow(^Cycle(0)) {
+		t.Fatal("no window")
+	}
+	if ran != 1 {
+		t.Fatalf("victim ran %d times", ran)
+	}
+	// The task ran inside lane 1's window and was recycled at the barrier:
+	// cancelling its stale ref from any shard, or the home queue, is a
+	// no-op — generation counters make the ref inert, not the holder's
+	// discipline.
+	before := q.State()
+	eng.Lane(2).Cancel(ref)
+	eng.Lane(0).Cancel(ref)
+	q.Cancel(ref)
+	if got := q.State(); got != before {
+		t.Fatalf("stale cancel disturbed the queue: %+v -> %+v", before, got)
+	}
+}
+
+func TestShardedLiveCrossShardCancelPanics(t *testing.T) {
+	q := NewQueue()
+	eng := NewSharded(q, 3, 1000, nil)
+	victim := eng.Lane(2).AfterKeep(5000, "far", func() {})
+	lane1 := eng.Lane(1)
+	lane1.AfterKeep(10, "attacker", func() {
+		lane1.Cancel(victim)
+	})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("live cross-shard cancel did not panic")
+		}
+	}()
+	eng.RunWindow(^Cycle(0))
+}
+
+func TestShardedPanicContainment(t *testing.T) {
+	q := NewQueue()
+	eng := NewSharded(q, 3, 1000, nil)
+	eng.Lane(1).AfterKeep(10, "ok", func() {})
+	eng.Lane(2).AfterKeep(11, "boom", func() { panic("boom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("lane panic did not propagate to the coordinator")
+		}
+		if fmt.Sprint(r) != "boom" {
+			t.Fatalf("panic value mangled: %v", r)
+		}
+	}()
+	eng.RunWindow(^Cycle(0))
+}

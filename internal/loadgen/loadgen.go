@@ -16,6 +16,15 @@
 // so the two client models are protocol-identical. It is deterministic
 // (seeded counter-based streams, never wall clock) and checkpoint-safe
 // (snapshot.go captures every draw counter and tally).
+//
+// Each class's arrival process runs on a backend lane (core.Sim.Lane
+// keyed by class index), so a sharded backend thins the client
+// population in parallel: a tick draws the gap and the thinning accept
+// on the lane, and forwards surviving session launches to the home lane
+// one send-latency later — in serial and sharded mode alike, so the
+// schedule is byte-identical at every shard count. Everything that
+// touches shared state (the wire, the in-flight table, the tallies)
+// stays home-side.
 package loadgen
 
 import (
@@ -68,7 +77,11 @@ type Generator struct {
 }
 
 // class is one traffic class's aggregate state: O(1) in the client
-// population.
+// population. The arrival side (gap draws, thinning, the remaining
+// budget) is owned by the class's lane; the launch side (wire, zipf and
+// think draws, tallies) is owned by the home lane. The two sides meet
+// only through the pending batch ring, whose producer and consumer are
+// ordered by the engine's window barriers.
 type class struct {
 	g       *Generator
 	idx     int
@@ -76,21 +89,38 @@ type class struct {
 	catalog Catalog
 	zipf    zipfTable
 
+	//ckpt:skip wired at construction from the class index
+	lane *event.Lane
+
 	// lambdaMax is the thinning envelope rate: base rate times the
 	// largest multiplier any window combination can reach.
 	lambdaMax float64
 	maxMult   float64
 
-	arrival stream // inter-arrival gaps and thinning accepts
-	object  stream // catalog picks
-	think   stream // intra-session think gaps
+	arrival stream // inter-arrival gaps and thinning accepts (lane side)
+	object  stream // catalog picks (home side)
+	think   stream // intra-session think gaps (home side)
+
+	//ckpt:skip remaining request budget; derived at Start from the
+	// offered tallies (apportion), zero at quiescence
+	left uint64
+
+	// pending is the lane→home session-size ring: the lane appends one
+	// batch size per surviving arrival, the home launch task pops one.
+	//ckpt:skip empty at quiescence (every forwarded launch was offered)
+	pending []int
+	//ckpt:skip ring read position; reset when the ring drains
+	pendHead int
 
 	offered, completed, failed, badBytes uint64
 	lat                                  stats.Histogram
 
-	// tickFn is the prebound arrival tick, allocated once so the
-	// scheduler call sites stay closure-free (evtclosure hot rule).
-	tickFn func()
+	// tickFn/launchFn/doneFn are the prebound lane tick, home launch and
+	// home retire tasks, allocated once so the scheduler call sites stay
+	// closure-free (evtclosure hot rule).
+	tickFn   func()
+	launchFn func()
+	doneFn   func()
 }
 
 // flightRec is one in-flight request. Records are pooled: the live
@@ -131,6 +161,7 @@ func New(sim *core.Sim, nic *dev.NIC, cfg Config, catalogs []Catalog, workers, p
 		}
 		cl := &class{
 			g: g, idx: i, cfg: cc, catalog: catalogs[i],
+			lane:    sim.Lane(i),
 			zipf:    newZipfTable(len(catalogs[i]), cc.Zipf),
 			arrival: newStream(cfg.Seed, siteArrival, i),
 			object:  newStream(cfg.Seed, siteObject, i),
@@ -147,6 +178,8 @@ func New(sim *core.Sim, nic *dev.NIC, cfg Config, catalogs []Catalog, workers, p
 		}
 		cl.lambdaMax = cc.sessionsPerCycle() * cl.maxMult
 		cl.tickFn = cl.tick
+		cl.launchFn = cl.launchBatch
+		cl.doneFn = cl.retire
 		g.classes = append(g.classes, cl)
 	}
 	return g, nil
@@ -218,46 +251,65 @@ func (g *Generator) Rows() []stats.LoadRow {
 	return rows
 }
 
-// Start schedules the first arrival tick of every class. Call before
-// Sim.Run (it schedules backend tasks).
+// Start apportions the remaining request budget across the classes by
+// base arrival rate and schedules the first arrival tick of every class
+// that got a share. Call before Sim.Run (it schedules backend tasks).
+// The shares sum to the remaining budget exactly, so each class retires
+// its own tick stream without ever reading another class's tallies —
+// the property that lets each stream run on its own backend lane.
 func (g *Generator) Start() {
-	if g.Offered() >= g.cfg.Requests {
+	offered := g.Offered()
+	if offered >= g.cfg.Requests {
 		// Restored generator with an exhausted budget: straight to drain.
 		g.maybeQuit()
 		return
 	}
-	g.liveTicks = len(g.classes)
-	for _, cl := range g.classes {
-		cl.schedule()
+	weights := make([]float64, len(g.classes))
+	for i, cl := range g.classes {
+		weights[i] = cl.cfg.sessionsPerCycle()
+	}
+	shares := apportion(g.cfg.Requests-offered, weights)
+	for i, cl := range g.classes {
+		cl.left = shares[i]
+		if cl.left > 0 {
+			g.liveTicks++
+			cl.schedule()
+		}
+	}
+	if g.liveTicks == 0 {
+		g.maybeQuit()
 	}
 }
 
-// schedule books the class's next candidate arrival.
+// schedule books the class's next candidate arrival on the class's lane
+// (lane context after the first tick; Start's setup context schedules
+// through the same handle).
 func (cl *class) schedule() {
 	gap := cl.arrival.expCycles(cl.lambdaMax)
-	cl.g.sim.ScheduleTask(event.Cycle(gap), "loadgen-arrival", false, cl.tickFn)
+	cl.lane.AfterKeep(event.Cycle(gap), "loadgen-arrival", cl.tickFn)
 }
 
-// tick is one candidate arrival (backend context): thin it against the
-// current rate multiplier, launch a session if it survives, and book
-// the next candidate while budget remains.
+// tick is one candidate arrival (lane context): thin it against the
+// current rate multiplier, forward a session launch if it survives, and
+// book the next candidate while the class's budget share remains. When
+// the share drains, the class retires its tick stream through a home
+// send, so the generator's drain bookkeeping stays home-side.
 func (cl *class) tick() {
-	g := cl.g
-	if g.Offered() >= g.cfg.Requests {
-		g.liveTicks--
-		g.maybeQuit()
-		return
-	}
-	now := uint64(g.sim.CurTime())
+	now := uint64(cl.lane.Now())
 	if cl.arrival.u01()*cl.maxMult < cl.multiplier(now) {
 		cl.launchSession()
 	}
-	if g.Offered() >= g.cfg.Requests {
-		g.liveTicks--
-		g.maybeQuit()
+	if cl.left == 0 {
+		cl.lane.Send(cl.lane.SendLatency(), "loadgen-done", cl.doneFn)
 		return
 	}
 	cl.schedule()
+}
+
+// retire retires one class's tick stream (home context, via Send).
+func (cl *class) retire() {
+	cl.g.liveTicks--
+	cl.g.maybeQuit()
 }
 
 // multiplier is the rate multiplier at an absolute cycle: the product
@@ -276,21 +328,39 @@ func (cl *class) multiplier(now uint64) float64 {
 	return m
 }
 
-// launchSession opens the first request of a new session; the remaining
-// burst requests follow completions with think gaps.
+// launchSession charges a new session against the class's budget share
+// and forwards it to the home lane (lane context): the size goes into
+// the pending ring and a prebound launch task follows one send-latency
+// later. Sends from one lane dispatch in schedule order, so batch sizes
+// pop in the order they were pushed.
 func (cl *class) launchSession() {
-	g := cl.g
 	n := uint64(cl.cfg.Burst)
-	if left := g.cfg.Requests - g.Offered(); n > left {
-		n = left
+	if n > cl.left {
+		n = cl.left
 	}
 	if n == 0 {
 		return
 	}
-	cl.offered += n
+	cl.left -= n
+	cl.pending = append(cl.pending, int(n))
+	cl.lane.Send(cl.lane.SendLatency(), "loadgen-launch", cl.launchFn)
+}
+
+// launchBatch opens the first request of a forwarded session (home
+// context); the remaining burst requests follow completions with think
+// gaps.
+func (cl *class) launchBatch() {
+	g := cl.g
+	n := cl.pending[cl.pendHead]
+	cl.pendHead++
+	if cl.pendHead == len(cl.pending) {
+		cl.pending = cl.pending[:0]
+		cl.pendHead = 0
+	}
+	cl.offered += uint64(n)
 	rec := g.alloc()
 	rec.class = cl.idx
-	rec.left = int(n)
+	rec.left = n
 	cl.launch(rec, 1)
 }
 

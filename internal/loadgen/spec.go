@@ -182,6 +182,35 @@ func (c Config) Validate() error {
 // infinities compare uselessly against thresholds downstream.
 func bad(f float64) bool { return math.IsNaN(f) || math.IsInf(f, 0) }
 
+// apportion splits total across weights proportionally, by cumulative
+// rounding: class i gets round(total·W_i/W) − round(total·W_{i−1}/W)
+// with the running cumulative clamped monotone and the last pinned to
+// total, so the shares always sum to total exactly. Deterministic for a
+// given (total, weights) — it never consults run state — so every shard
+// count, and a resume at any shard count, derives the same split.
+func apportion(total uint64, weights []float64) []uint64 {
+	shares := make([]uint64, len(weights))
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	var acc float64
+	var prev uint64
+	for i, w := range weights {
+		acc += w
+		cum := uint64(math.Round(float64(total) * (acc / wsum)))
+		if i == len(weights)-1 || cum > total {
+			cum = total
+		}
+		if cum < prev {
+			cum = prev
+		}
+		shares[i] = cum - prev
+		prev = cum
+	}
+	return shares
+}
+
 // sessionsPerCycle is the class's base arrival rate.
 func (c ClassConfig) sessionsPerCycle() float64 {
 	if c.Rate > 0 {

@@ -40,9 +40,9 @@ func TestLoadHTTPDGoldenTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	const golden = `class          offered      done  failed        p50        p90        p99       p999        max
-web                 70        70       0   10295110   18902679   20119990   20241721   20255246
-api                 70        70       0   17175432   18569187   18882782   18914142   18917625
-total              140       140       0   15021461   19457010   20175423   20247265   20255246
+web                100       100       0   10385896   19673271   20759291   20867893   20879959
+api                 40        40       0   13981013   17210306   17383543   17400866   17402790
+total              140       140       0   12183454   19657866   20757751   20867739   20879959
 `
 	if res.LoadTable != golden {
 		t.Fatalf("load table diverged from golden:\n--- got ---\n%s--- want ---\n%s", res.LoadTable, golden)
@@ -236,11 +236,13 @@ func TestLoadTier3(t *testing.T) {
 // dispatch ring of a livelocked run.
 func TestLoadARQGiveUpExhaustion(t *testing.T) {
 	cfg := loadCfg()
-	// Seed 38 flaps the link on an early session's SYN, before any other
+	// Seed 1 flaps the link on an early session's SYN, before any other
 	// session is in flight: the 2M-cycle down window then covers every
 	// remaining session open (clean client-side give-ups, the server never
 	// accepts) and the re-armed quit handshake lands after the window.
-	fc, err := ParseFaultSpec("seed=38,net.flap=0.02,net.flapdown=2000000,net.timeout=50000,net.retries=1")
+	// (The seed was re-tuned when session launches moved to the lane→home
+	// forward path, which shifts every open by one send latency.)
+	fc, err := ParseFaultSpec("seed=1,net.flap=0.02,net.flapdown=2000000,net.timeout=50000,net.retries=1")
 	if err != nil {
 		t.Fatal(err)
 	}
