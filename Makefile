@@ -52,10 +52,12 @@ bench-core:
 vet:
 	$(GO) vet ./...
 
-# The determinism/snapshot invariant suite (see DESIGN.md §11). Fails
-# on any finding not recorded in compassvet.baseline.json.
+# The determinism/snapshot/lane invariant suite (see DESIGN.md §11 and
+# §15). Fails on any finding not recorded in compassvet.baseline.json,
+# and on baseline entries that no longer match anything (-fail-stale),
+# so the debt ledger can only shrink.
 vet-compass:
-	$(GO) run ./cmd/compassvet ./...
+	$(GO) run ./cmd/compassvet -fail-stale ./...
 
 # staticcheck is optional tooling: run it when installed (CI installs
 # it), skip quietly on machines that don't have it.

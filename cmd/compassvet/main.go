@@ -1,11 +1,11 @@
-// Command compassvet is the project's determinism and
-// snapshot-completeness checker: a multichecker over the
+// Command compassvet is the project's determinism, shard-safety and
+// allocation-discipline checker: a multichecker over the
 // internal/analysis suite (detwallclock, detmaprange, snapfields,
-// evtclosure).
+// evtclosure, lanescope, allochot, lookaheadfloor).
 //
 // Usage:
 //
-//	compassvet [-run a,b] [-json] [-baseline file] [-write-baseline] [packages]
+//	compassvet [-run a,b] [-json] [-baseline file] [-write-baseline] [-fail-stale] [packages]
 //
 // With no packages, ./... is checked. Exit status is 0 when clean,
 // 1 when non-baselined findings exist, 2 on a driver error.
@@ -13,9 +13,12 @@
 // The baseline file (default compassvet.baseline.json when present)
 // holds findings a past review accepted; matching findings are
 // suppressed but counted, and entries that no longer match anything
-// are reported as stale so the file shrinks over time. Identity is
-// (analyzer, file, message) — line numbers move with unrelated edits
-// and are deliberately excluded.
+// are reported as stale so the file shrinks over time. With
+// -fail-stale, stale entries this run actually re-checked (their
+// analyzer ran and their package was analyzed) are an error too, so CI
+// keeps the baseline tight instead of letting it fossilize. Identity
+// is (analyzer, file, message) — line numbers move with unrelated
+// edits and are deliberately excluded.
 package main
 
 import (
@@ -40,6 +43,7 @@ func run() int {
 		baselinePath  = flag.String("baseline", "compassvet.baseline.json", "baseline file of accepted findings")
 		writeBaseline = flag.Bool("write-baseline", false, "write the current findings to the baseline file and exit")
 		runList       = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		failStale     = flag.Bool("fail-stale", false, "exit nonzero when the baseline holds entries this run re-checked and no longer produces")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: compassvet [flags] [packages]\n\nAnalyzers:\n")
@@ -153,15 +157,29 @@ func run() int {
 		}
 		analyzedDirs[filepath.ToSlash(dir)] = true
 	}
+	staleCount := 0
 	for _, e := range stale {
 		if !ranAnalyzer[e.Analyzer] || !analyzedDirs[path.Dir(filepath.ToSlash(e.File))] {
 			continue
 		}
+		staleCount++
 		fmt.Fprintf(os.Stderr, "compassvet: stale baseline entry (no longer matches): %s %s: %s\n", e.Analyzer, e.File, e.Message)
 	}
 	if len(fresh) > 0 {
 		fmt.Fprintf(os.Stderr, "compassvet: %d finding(s)\n", len(fresh))
 		return 1
 	}
+	if *failStale && staleCount > 0 {
+		fmt.Fprintf(os.Stderr, "compassvet: %d stale baseline entr%s; prune %s or rerun with -write-baseline\n",
+			staleCount, plural(staleCount, "y", "ies"), *baselinePath)
+		return 1
+	}
 	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

@@ -15,7 +15,7 @@ import (
 // cycles) plus the event rate and the allocation cost per event that the
 // calendar-queue/pooling engine is built to hold at zero.
 type CoreBenchWorkload struct {
-	// Name identifies the workload (tpcc, specweb).
+	// Name identifies the workload (tpcc, specweb, tpcd, tier3).
 	Name string `json:"name"`
 	// SimCycles is the simulated cycles covered by the run.
 	SimCycles uint64 `json:"sim_cycles"`
@@ -36,17 +36,44 @@ type CoreBenchWorkload struct {
 	// regressions on the event hot path surface as a red bench run rather
 	// than a slow drift in the artifact history.
 	AllocsPerEventGate float64 `json:"allocs_per_event_gate"`
+	// EventsPerSecGate is the enforced floor for EventsPerSec. It is set
+	// far below warm local measurements (shared CI runners are slow and
+	// noisy) but high enough that an accidental algorithmic cliff on the
+	// dispatch path — a linear scan in the queue, an O(n²) retire loop —
+	// fails the bench instead of just inflating the artifact history.
+	EventsPerSecGate float64 `json:"events_per_sec_gate"`
 }
 
 // coreAllocGates pins the per-workload allocation budget. Set with ~35%
 // headroom over the pooled measurements (TPCC ≈10.3 after the syscall
-// closure and row-buffer pooling, SPECWeb ≈5.6) — loose enough for
-// runtime jitter, tight enough that reintroducing a per-event allocation
-// (one closure per syscall alone was ~13/event on TPCC) trips the gate.
+// closure and row-buffer pooling, SPECWeb ≈5.6, tier3 ≈11.7) — loose
+// enough for runtime jitter, tight enough that reintroducing a per-event
+// allocation (one closure per syscall alone was ~13/event on TPCC) trips
+// the gate. TPC-D measures ≈116: the decision-support scan frontend
+// builds row batches per backend task by design, so its gate budgets
+// that frontend cost rather than pretending the path is pooled.
 var coreAllocGates = map[string]float64{
 	"tpcc":    14,
 	"specweb": 8,
+	"tpcd":    150,
+	"tier3":   16,
 }
+
+// coreEventRateGates pins the events/sec floor per workload. Floors sit
+// at roughly a fifth of the slowest warm local measurement (TPCC ≈4.8k,
+// SPECWeb ≈116k, TPC-D ≈5.8k, tier3 ≈71k): a cold shared runner loses
+// 2–3x, an accidental O(n²) on the dispatch path loses far more.
+var coreEventRateGates = map[string]float64{
+	"tpcc":    900,
+	"specweb": 20_000,
+	"tpcd":    1_100,
+	"tier3":   12_000,
+}
+
+// coreTier3Requests sizes the tier3 bench leg: enough requests that the
+// three-tier pipeline reaches steady state and the per-event figures
+// stabilize, small enough to keep the bench under CI budget.
+const coreTier3Requests = 120
 
 // CoreBench is the single-run performance record written as
 // BENCH_core.json: the heap-vs-calendar dispatch microbenchmark (the
@@ -249,13 +276,14 @@ func measureWorkload(name string, run func() Result) CoreBenchWorkload {
 		w.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(w.Events)
 	}
 	w.AllocsPerEventGate = coreAllocGates[name]
+	w.EventsPerSecGate = coreEventRateGates[name]
 	return w
 }
 
 // RunCoreBench measures single-run engine throughput: the heap-vs-calendar
-// dispatch microbenchmark, then TPCC and SPECWeb end to end. The heap leg
-// runs first and the calendar leg second, so the calendar cannot look
-// faster merely from a warmed host.
+// dispatch microbenchmark, then TPCC, SPECWeb, TPC-D, and the three-tier
+// workload end to end. The heap leg runs first and the calendar leg
+// second, so the calendar cannot look faster merely from a warmed host.
 func RunCoreBench(cfg Config) (CoreBench, error) {
 	b := CoreBench{
 		HostCores:   runtime.GOMAXPROCS(0),
@@ -274,10 +302,20 @@ func RunCoreBench(cfg Config) (CoreBench, error) {
 	b.Workloads = append(b.Workloads, measureWorkload("specweb", func() Result {
 		return RunSPECWeb(cfg, DefaultSPECWeb(), 4, 8)
 	}))
+	b.Workloads = append(b.Workloads, measureWorkload("tpcd", func() Result {
+		return RunTPCD(cfg, DefaultTPCD())
+	}))
+	b.Workloads = append(b.Workloads, measureWorkload("tier3", func() Result {
+		return RunTier3(cfg, DefaultTier3(), coreTier3Requests)
+	}))
 	for _, w := range b.Workloads {
 		if w.AllocsPerEventGate > 0 && w.AllocsPerEvent > w.AllocsPerEventGate {
 			return b, fmt.Errorf("%s allocates %.1f/event, above the %.1f gate: something on the event hot path allocates again",
 				w.Name, w.AllocsPerEvent, w.AllocsPerEventGate)
+		}
+		if w.EventsPerSecGate > 0 && w.EventsPerSec < w.EventsPerSecGate {
+			return b, fmt.Errorf("%s dispatches %.3g events/s, below the %.3g floor: the event path got drastically slower",
+				w.Name, w.EventsPerSec, w.EventsPerSecGate)
 		}
 	}
 
@@ -303,8 +341,8 @@ func (b CoreBench) String() string {
 	s := fmt.Sprintf("event queue: heap %.2gM ev/s, calendar %.2gM ev/s — %.2fx",
 		b.HeapEventsPerSec/1e6, b.CalendarEventsPerSec/1e6, b.MicroSpeedup)
 	for _, w := range b.Workloads {
-		s += fmt.Sprintf("\n%-8s %.3g sim cycles/s, %.3g ev/s, %.1f allocs/ev (gate %.1f, %.2fs host)",
-			w.Name, w.SimCyclesPerSec, w.EventsPerSec, w.AllocsPerEvent, w.AllocsPerEventGate, w.HostSeconds)
+		s += fmt.Sprintf("\n%-8s %.3g sim cycles/s, %.3g ev/s (floor %.3g), %.1f allocs/ev (gate %.1f, %.2fs host)",
+			w.Name, w.SimCyclesPerSec, w.EventsPerSec, w.EventsPerSecGate, w.AllocsPerEvent, w.AllocsPerEventGate, w.HostSeconds)
 	}
 	gate := "gate waived: single-core host"
 	if b.Sharded.GateApplies {

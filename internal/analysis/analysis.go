@@ -68,6 +68,10 @@ type Pass struct {
 	PkgPath   string // import path as the loader saw it
 	Dir       string // package directory on disk
 
+	// Prog is the whole loaded program; the call-graph analyzers use it
+	// for cross-package reachability (see callgraph.go).
+	Prog *Program
+
 	report func(Diagnostic)
 }
 
@@ -94,13 +98,14 @@ func (d Diagnostic) String() string {
 
 // All returns the full compassvet suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detwallclock, Detmaprange, Snapfields, Evtclosure}
+	return []*Analyzer{Detwallclock, Detmaprange, Snapfields, Evtclosure, Lanescope, Allochot, Lookaheadfloor}
 }
 
 // Run applies each analyzer to each loaded package and returns the
 // combined findings sorted by position.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	prog := &Program{Pkgs: pkgs}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -111,6 +116,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				TypesInfo: pkg.TypesInfo,
 				PkgPath:   pkg.PkgPath,
 				Dir:       pkg.Dir,
+				Prog:      prog,
 				report:    func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {

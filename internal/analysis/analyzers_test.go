@@ -5,6 +5,7 @@ import (
 
 	"compass/internal/analysis"
 	"compass/internal/analysis/analysistest"
+	"compass/internal/dev"
 )
 
 // The fixtures under testdata/src use GOPATH-style import paths
@@ -27,4 +28,33 @@ func TestSnapfields(t *testing.T) {
 
 func TestEvtclosure(t *testing.T) {
 	analysistest.Run(t, analysis.Evtclosure, "internal/dev", "internal/fs", "internal/loadgen")
+}
+
+// The three call-graph analyzers get their own fixture trees nested as
+// <analyzer>/internal/loadgen: the import path still ends in
+// internal/loadgen, so package classification (sim package, hot
+// package, lane tenant) matches the real module while each analyzer's
+// want expectations stay isolated from the shared fixtures.
+
+func TestLanescope(t *testing.T) {
+	analysistest.Run(t, analysis.Lanescope, "lanescope/internal/loadgen")
+}
+
+func TestAllochot(t *testing.T) {
+	analysistest.Run(t, analysis.Allochot, "allochot/internal/loadgen")
+}
+
+func TestLookaheadfloor(t *testing.T) {
+	analysistest.Run(t, analysis.Lookaheadfloor, "lookahead/internal/loadgen")
+}
+
+// TestLookaheadFloorMatchesNIC pins the analyzer's constant to the
+// engine's real quantum: machine.go installs the NIC wire latency as
+// Config.ShardLookahead, so a NIC retune must update
+// LookaheadFloorCycles (or decouple them deliberately) rather than
+// silently loosening the vet check.
+func TestLookaheadFloorMatchesNIC(t *testing.T) {
+	if got := uint64(dev.DefaultNICConfig().WireCycles); got != analysis.LookaheadFloorCycles {
+		t.Fatalf("dev.DefaultNICConfig().WireCycles = %d, analysis.LookaheadFloorCycles = %d: keep the static floor in sync with the shard quantum", got, analysis.LookaheadFloorCycles)
+	}
 }

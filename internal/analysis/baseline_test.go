@@ -69,3 +69,55 @@ func TestBaselineRoundTripAndFilter(t *testing.T) {
 		t.Fatalf("stale = %+v, want the one snapfields entry", stale)
 	}
 }
+
+// TestBaselineNewAnalyzerKinds round-trips findings from the three
+// call-graph analyzers: baseline identity is (analyzer, file, message),
+// so lanescope/allochot/lookaheadfloor entries budget, suppress and go
+// stale exactly like the original four analyzers'.
+func TestBaselineNewAnalyzerKinds(t *testing.T) {
+	accepted := []analysis.Diagnostic{
+		diag("lanescope", "internal/loadgen/loadgen.go", "access to field Q of home-lane type core.Sim in lane-scheduled loadgen.(*class).tick"),
+		diag("allochot", "internal/loadgen/loadgen.go", "fmt.Sprintf boxes every operand into an interface on the event-dispatch hot path"),
+		diag("allochot", "internal/loadgen/loadgen.go", "fmt.Sprintf boxes every operand into an interface on the event-dispatch hot path"),
+		diag("lookaheadfloor", "internal/loadgen/loadgen.go", "Lane.Send delay 100 is below the shard lookahead (5000 cycles)"),
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := analysis.WriteBaseline(path, accepted); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := analysis.LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(b.Findings) != 4 {
+		t.Fatalf("round trip kept %d findings, want 4", len(b.Findings))
+	}
+
+	// The lanescope entry recurs, one allochot instance is fixed (the
+	// leftover budget is reported stale so the file shrinks), the
+	// lookaheadfloor entry is fixed entirely (stale), and a same-file
+	// allochot finding with a different message is fresh: the message
+	// is part of the identity.
+	now := []analysis.Diagnostic{
+		diag("lanescope", "internal/loadgen/loadgen.go", "access to field Q of home-lane type core.Sim in lane-scheduled loadgen.(*class).tick"),
+		diag("allochot", "internal/loadgen/loadgen.go", "fmt.Sprintf boxes every operand into an interface on the event-dispatch hot path"),
+		diag("allochot", "internal/loadgen/loadgen.go", "make(map) allocates on the event-dispatch hot path"),
+	}
+	fresh, suppressed, stale := b.Filter(now)
+	if suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2", suppressed)
+	}
+	if len(fresh) != 1 || fresh[0].Message != "make(map) allocates on the event-dispatch hot path" {
+		t.Fatalf("fresh = %+v, want only the new-message allochot finding", fresh)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("stale = %+v, want the leftover allochot budget and the fixed lookaheadfloor entry", stale)
+	}
+	staleBy := map[string]bool{}
+	for _, e := range stale {
+		staleBy[e.Analyzer] = true
+	}
+	if !staleBy["allochot"] || !staleBy["lookaheadfloor"] {
+		t.Fatalf("stale = %+v, want one allochot and one lookaheadfloor entry", stale)
+	}
+}

@@ -38,6 +38,11 @@ var hotAllocPackages = map[string]bool{
 // schedMethods are the event.Queue scheduling entry points.
 var schedMethods = map[string]bool{"At": true, "AtKeep": true, "After": true}
 
+// laneSchedMethods are the sharded backend's per-lane scheduling entry
+// points (event.Lane); they feed the same pooled task path as the
+// queue, so the closure rules apply identically.
+var laneSchedMethods = map[string]bool{"After": true, "AfterKeep": true, "Send": true}
+
 func runEvtclosure(pass *Pass) error {
 	if !isSimPackage(pass.PkgPath) {
 		return nil
@@ -144,6 +149,9 @@ func schedCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
 	recvPkg := pkgPathOf(recv.Obj())
 	if schedMethods[sel.Sel.Name] && recv.Obj().Name() == "Queue" && isEventPackage(recvPkg) {
 		return "Queue." + sel.Sel.Name, true
+	}
+	if laneSchedMethods[sel.Sel.Name] && recv.Obj().Name() == "Lane" && isEventPackage(recvPkg) {
+		return "Lane." + sel.Sel.Name, true
 	}
 	if sel.Sel.Name == "ScheduleTask" && isSimPackage(recvPkg) {
 		return recv.Obj().Name() + ".ScheduleTask", true

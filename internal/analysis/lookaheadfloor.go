@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// LookaheadFloorCycles is the shard quantum compassvet checks constant
+// Lane.Send delays against. It mirrors dev.DefaultNICConfig().WireCycles
+// — the wire latency machine.go installs as Config.ShardLookahead — and
+// a unit test in this package cross-checks the two so a NIC retune
+// cannot silently loosen the analyzer.
+const LookaheadFloorCycles = 5_000
+
+// Lookaheadfloor turns the sharded engine's panic-at-cycle-N into a
+// finding-at-vet-time: Lane.Send's delay must be at least the engine
+// lookahead (DESIGN.md §14), or the conservative window order breaks.
+// For every Lane.Send call the analyzer requires the delay argument to
+// be one of:
+//
+//   - a compile-time constant ≥ LookaheadFloorCycles (the shard quantum)
+//   - provably ≥ SendLatency() by structure: the SendLatency() call
+//     itself, a sum with a proven term (Cycle is unsigned), a proven
+//     term scaled by a constant ≥ 1, or a local variable all of whose
+//     assignments in the function are proven
+//   - a dynamic expression dominated by a floor check: the enclosing
+//     function compares the same expression against SendLatency()
+//
+// Anything else is a finding. Escape hatch: //lookahead:ok <why> on the
+// line (or line above); the justification is mandatory.
+var Lookaheadfloor = &Analyzer{
+	Name: "lookaheadfloor",
+	Doc: "require every cross-lane Lane.Send delay to be provably at or above the shard " +
+		"lookahead: constant >= the quantum, structurally derived from SendLatency(), or guarded by a runtime floor check",
+	Run: runLookaheadfloor,
+}
+
+func runLookaheadfloor(pass *Pass) error {
+	ann := collectAnnotations(pass.Fset, pass.Files, "lookahead:ok")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncSends(pass, fd.Body, ann)
+		}
+	}
+	return nil
+}
+
+func checkFuncSends(pass *Pass, body *ast.BlockStmt, ann *lineAnnotations) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if !isLaneSend(pass, call) {
+			return true
+		}
+		delay := call.Args[0]
+		if why, ok := ann.at(call.Pos()); ok {
+			if why == "" {
+				pass.Reportf(call.Pos(), "//lookahead:ok annotation with no justification; explain why this delay respects the shard quantum")
+			}
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[delay]; ok && tv.Value != nil {
+			if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok && v < LookaheadFloorCycles {
+				pass.Reportf(call.Pos(),
+					"Lane.Send delay %d is below the shard lookahead (%d cycles): the conservative window cannot order it; use SendLatency() or a delay >= the quantum", v, LookaheadFloorCycles)
+			}
+			return true
+		}
+		if provenAtFloor(pass, body, delay) {
+			return true
+		}
+		if hasFloorGuard(pass, body, delay) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"Lane.Send delay %s is not provably >= the shard lookahead: derive it from SendLatency(), guard it with an explicit floor check, or annotate //lookahead:ok <why>",
+			exprString(pass.Fset, delay))
+		return true
+	})
+}
+
+// isLaneSend reports whether call is event.Lane.Send.
+func isLaneSend(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Send" {
+		return false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := namedOrPointee(selection.Recv())
+	return recv != nil && recv.Obj().Name() == "Lane" && isEventPackage(pkgPathOf(recv.Obj()))
+}
+
+// provenAtFloor reports whether expr is structurally >= SendLatency().
+// Cycle is an unsigned integer, so adding any term to a proven one
+// keeps the bound, and scaling by a constant >= 1 keeps it too.
+func provenAtFloor(pass *Pass, body *ast.BlockStmt, expr ast.Expr) bool {
+	return provenRec(pass, body, expr, make(map[*types.Var]bool))
+}
+
+func provenRec(pass *Pass, body *ast.BlockStmt, expr ast.Expr, visiting map[*types.Var]bool) bool {
+	// A constant >= the quantum is proven wherever it appears.
+	if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Value != nil {
+		v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+		return ok && v >= LookaheadFloorCycles
+	}
+	switch e := unparen(expr).(type) {
+	case *ast.CallExpr:
+		if isSendLatencyCall(pass, e) {
+			return true
+		}
+		// A conversion like event.Cycle(x): prove the operand.
+		if len(e.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+				return provenRec(pass, body, e.Args[0], visiting)
+			}
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD:
+			return provenRec(pass, body, e.X, visiting) || provenRec(pass, body, e.Y, visiting)
+		case token.MUL:
+			return (provenRec(pass, body, e.X, visiting) && constAtLeastOne(pass, e.Y)) ||
+				(provenRec(pass, body, e.Y, visiting) && constAtLeastOne(pass, e.X))
+		}
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok || visiting[v] {
+			return false
+		}
+		visiting[v] = true
+		defer delete(visiting, v)
+		return allAssignmentsProven(pass, body, v, visiting)
+	}
+	return false
+}
+
+// isSendLatencyCall reports whether e is lane.SendLatency() (or the
+// engine's Lookahead()), the canonical floor expression.
+func isSendLatencyCall(pass *Pass, e *ast.CallExpr) bool {
+	sel, ok := e.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if name != "SendLatency" && name != "Lookahead" {
+		return false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := namedOrPointee(selection.Recv())
+	return recv != nil && isEventPackage(pkgPathOf(recv.Obj()))
+}
+
+// constAtLeastOne reports whether expr is a compile-time constant >= 1.
+func constAtLeastOne(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && v >= 1
+}
+
+// allAssignmentsProven reports whether every assignment to v inside the
+// enclosing function body has a proven right-hand side, and at least
+// one assignment exists.
+func allAssignmentsProven(pass *Pass, body *ast.BlockStmt, v *types.Var, visiting map[*types.Var]bool) bool {
+	found, ok := false, true
+	ast.Inspect(body, func(x ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				id, isIdent := unparen(lhs).(*ast.Ident)
+				if !isIdent {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != types.Object(v) {
+					continue
+				}
+				found = true
+				if x.Tok == token.ADD_ASSIGN {
+					continue // adding keeps an unsigned bound
+				}
+				if !provenRec(pass, body, x.Rhs[i], visiting) {
+					ok = false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if pass.TypesInfo.Defs[name] != types.Object(v) || i >= len(x.Values) {
+					continue
+				}
+				found = true
+				if !provenRec(pass, body, x.Values[i], visiting) {
+					ok = false
+				}
+			}
+		}
+		return true
+	})
+	return found && ok
+}
+
+// hasFloorGuard reports whether the enclosing function contains an
+// explicit comparison between the same delay expression and
+// SendLatency()/Lookahead() — a runtime floor check dominating the Send
+// in every code path the author cared to write. This is a syntactic
+// dominance approximation: the guard must exist somewhere in the
+// function; branch-sensitive placement is the author's responsibility
+// and the engine's panic remains the backstop.
+func hasFloorGuard(pass *Pass, body *ast.BlockStmt, delay ast.Expr) bool {
+	want := exprString(pass.Fset, delay)
+	guarded := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if guarded {
+			return false
+		}
+		cmp, ok := x.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch cmp.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		sides := [2]ast.Expr{cmp.X, cmp.Y}
+		for i, side := range sides {
+			other := sides[1-i]
+			if exprString(pass.Fset, side) != want {
+				continue
+			}
+			if call, ok := unparen(other).(*ast.CallExpr); ok && isSendLatencyCall(pass, call) {
+				guarded = true
+				return false
+			}
+			if tv, ok := pass.TypesInfo.Types[other]; ok && tv.Value != nil {
+				if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok && v >= LookaheadFloorCycles {
+					guarded = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+// exprString renders an expression for textual comparison and messages.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -48,3 +48,7 @@ func (s *Sim) seededRandIsLegal() int {
 	d := 5 * time.Second
 	return s.rng.Intn(int(d / time.Second))
 }
+
+// Publish mimics a package-level home-side helper: lane-scheduled code
+// calling it is a lanescope finding.
+func Publish(v uint64) { _ = v }

@@ -34,3 +34,44 @@ func (q *Queue) AtKeep(when Cycle, label string, fn func()) TaskRef {
 func (q *Queue) After(delay Cycle, label string, fn func()) TaskRef {
 	return q.At(q.now+delay, label, fn)
 }
+
+// Lane mimics the sharded engine's per-lane scheduling handle
+// (internal/event/shard.go): After/AfterKeep run on the lane, Send
+// crosses back to the home lane at or above the engine lookahead.
+type Lane struct {
+	q     *Queue
+	floor Cycle
+}
+
+// Now returns the lane's local clock.
+func (l *Lane) Now() Cycle { return l.q.Now() }
+
+// SendLatency returns the engine lookahead: the minimum legal Send delay.
+func (l *Lane) SendLatency() Cycle { return l.floor }
+
+// After schedules fn on this lane a relative number of cycles from now.
+func (l *Lane) After(delay Cycle, label string, fn func()) TaskRef {
+	return l.q.After(delay, label, fn)
+}
+
+// AfterKeep schedules a keep-alive lane task.
+func (l *Lane) AfterKeep(delay Cycle, label string, fn func()) TaskRef {
+	return l.q.After(delay, label, fn)
+}
+
+// Send schedules fn on the home lane at least one lookahead away.
+func (l *Lane) Send(delay Cycle, label string, fn func()) TaskRef {
+	return l.q.After(delay, label, fn)
+}
+
+// Sharded mimics the engine handle that owns the lanes.
+type Sharded struct {
+	q     *Queue
+	floor Cycle
+}
+
+// Lookahead returns the conservative quantum.
+func (e *Sharded) Lookahead() Cycle { return e.floor }
+
+// Lane returns a lane handle.
+func (e *Sharded) Lane(i int) *Lane { return &Lane{q: e.q, floor: e.floor} }

@@ -7,6 +7,7 @@ package loadgen
 
 import (
 	"internal/core"
+	"internal/event"
 )
 
 var totalArrivals uint64
@@ -42,4 +43,26 @@ func (c *class) badLoopVar() {
 	for _, conn := range c.conns {
 		c.sim.ScheduleTask(1, "loadgen-open", false, func() { totalArrivals += uint64(conn) }) // want `closure passed to Sim\.ScheduleTask captures per-iteration variable "conn"`
 	}
+}
+
+// laneClass mirrors the sharded generator: arrival ticks bound through
+// the per-lane handle feed the same pooled task path as the queue, so
+// the same closure rules apply to Lane.After/AfterKeep/Send.
+type laneClass struct {
+	lane    *event.Lane
+	offered uint64
+	tickFn  func()
+}
+
+// goodLanePrebound schedules the stored method value through the lane.
+func (c *laneClass) goodLanePrebound() {
+	c.lane.AfterKeep(1, "loadgen-arrival", c.tickFn)
+}
+
+func (c *laneClass) badLaneCapture() {
+	c.lane.After(1, "loadgen-arrival", func() { c.offered++ }) // want `closure passed to Lane\.After captures "c" in hot package loadgen`
+}
+
+func (c *laneClass) badSendCapture(n uint64) {
+	c.lane.Send(5000, "loadgen-launch", func() { c.offered += n }) // want `closure passed to Lane\.Send captures "c" in hot package loadgen`
 }
